@@ -1,0 +1,165 @@
+// Command dmamem-bench regenerates the tables and figures of the
+// paper's evaluation.
+//
+// Usage:
+//
+//	dmamem-bench [-duration 100ms] [-seed 1] [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2]
+//
+// Each figure prints the same series the paper plots; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dmamem/internal/experiments"
+	"dmamem/internal/sim"
+)
+
+func main() {
+	duration := flag.Duration("duration", 100*time.Millisecond, "trace duration")
+	dbDuration := flag.Duration("db-duration", 25*time.Millisecond, "database trace duration (denser traces)")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	fig := flag.String("fig", "all", "which figure/table to regenerate")
+	flag.Parse()
+
+	s := experiments.NewSuite(fromStd(*duration), *seed)
+	s.DbDuration = fromStd(*dbDuration)
+
+	run := func(name string, f func() error) {
+		if *fig != "all" && *fig != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "dmamem-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+
+	run("table1", func() error {
+		fmt.Print(experiments.Table1())
+		return nil
+	})
+	run("table2", func() error {
+		rows, err := s.Table2()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTable2(rows))
+		return nil
+	})
+	run("2a", func() error {
+		fmt.Print(experiments.NewTimeline(1, 4).String())
+		return nil
+	})
+	run("3", func() error {
+		fmt.Print(experiments.NewTimeline(3, 4).String())
+		return nil
+	})
+	run("2b", func() error {
+		rows, err := s.Fig2b()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatBreakdowns(
+			"Figure 2(b): baseline energy breakdown", rows))
+		return nil
+	})
+	run("4", func() error {
+		pts, err := s.Fig4(10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig4(pts))
+		return nil
+	})
+	run("5", func() error {
+		pts, err := s.Fig5([]float64{0.01, 0.05, 0.10, 0.20, 0.30}, []int{2, 3, 6})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig5(pts))
+		return nil
+	})
+	run("6", func() error {
+		rows, err := s.Fig6()
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatBreakdowns(
+			"Figure 6: OLTP-St breakdowns at 10% CP-Limit", rows))
+		return nil
+	})
+	run("7", func() error {
+		pts, err := s.Fig7([]float64{0.01, 0.05, 0.10, 0.20, 0.30})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatFig7(pts))
+		return nil
+	})
+	run("8", func() error {
+		pts, err := s.Fig8([]float64{25, 50, 100, 200, 400})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSweep(
+			"Figure 8: savings vs workload intensity (Synthetic-St, 10% CP-Limit)",
+			"xfers/ms", pts))
+		return nil
+	})
+	run("9", func() error {
+		pts, err := s.Fig9([]int{0, 50, 100, 233, 400})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSweep(
+			"Figure 9: savings vs processor accesses per transfer (Synthetic-Db, 10% CP-Limit)",
+			"proc/xfer", pts))
+		return nil
+	})
+	run("10", func() error {
+		pts, err := s.Fig10([]float64{0.5e9, 1.064e9, 2e9, 3e9})
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatSweep(
+			"Figure 10: savings vs memory/I-O bandwidth ratio (10% CP-Limit)",
+			"ratio", pts))
+		return nil
+	})
+	run("dss", func() error {
+		rows, err := experiments.DSSExtension(fromStd(*duration), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatDSS(rows))
+		return nil
+	})
+	run("tech", func() error {
+		rows, err := experiments.TechExtension(fromStd(*duration), *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.FormatTech(rows))
+		return nil
+	})
+	run("seeds", func() error {
+		// Dispersion behind the headline Figure 5 point.
+		pl := experiments.Fig5PLConfig()
+		st, err := experiments.MultiSeedSavings(fromStd(*duration), 5, pl)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiments.FormatSeedStats(st))
+		return nil
+	})
+}
+
+func fromStd(d time.Duration) sim.Duration {
+	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+}

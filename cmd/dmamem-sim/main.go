@@ -1,0 +1,123 @@
+// Command dmamem-sim runs one simulation over a trace and prints the
+// energy report.
+//
+// Usage:
+//
+//	dmamem-sim [flags]
+//	  -trace file        binary trace (default: generate Synthetic-St)
+//	  -workload name     synthetic-st | synthetic-db | oltp-st | oltp-db
+//	  -duration 100ms    duration of the generated trace
+//	  -scheme name       baseline | dma-ta | dma-ta-pl | no-pm
+//	  -cp-limit 0.10     client-perceived degradation bound for DMA-TA
+//	  -groups 2          popularity groups for PL
+//	  -compare           also run the baseline and report savings
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dmamem"
+)
+
+func main() {
+	traceFile := flag.String("trace", "", "binary trace file (overrides -workload)")
+	workload := flag.String("workload", "synthetic-st", "workload to generate")
+	duration := flag.Duration("duration", 100*time.Millisecond, "generated trace duration")
+	scheme := flag.String("scheme", "dma-ta-pl", "energy management scheme")
+	cpLimit := flag.Float64("cp-limit", 0.10, "CP-Limit for DMA-TA")
+	groups := flag.Int("groups", 2, "PL popularity groups")
+	seed := flag.Uint64("seed", 1, "generator seed")
+	compare := flag.Bool("compare", true, "also run the baseline and report savings")
+	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON")
+	flag.Parse()
+
+	tr, err := loadTrace(*traceFile, *workload, *duration, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("trace %s: %s\n", tr.Name(), tr.Summary())
+
+	s := dmamem.Simulation{CPLimit: *cpLimit, PLGroups: *groups}
+	switch *scheme {
+	case "baseline":
+		s.Technique = dmamem.Baseline
+	case "dma-ta":
+		s.Technique = dmamem.TemporalAlignment
+	case "dma-ta-pl":
+		s.Technique = dmamem.TemporalAlignmentWithLayout
+	case "no-pm":
+		s.Technique = dmamem.NoPowerManagement
+	default:
+		fatal(fmt.Errorf("unknown scheme %q", *scheme))
+	}
+
+	if *compare && s.Technique != dmamem.Baseline {
+		cmp, err := dmamem.Compare(s, tr)
+		if err != nil {
+			fatal(err)
+		}
+		if *jsonOut {
+			emitJSON(cmp)
+			return
+		}
+		fmt.Println("baseline: ", cmp.Baseline)
+		fmt.Println("          ", cmp.Baseline.Breakdown)
+		fmt.Println("technique:", cmp.Technique)
+		fmt.Println("          ", cmp.Technique.Breakdown)
+		fmt.Printf("energy savings: %.1f%%\n", 100*cmp.Savings)
+		if cmp.Technique.Mu > 0 {
+			fmt.Printf("derived mu: %.2f (gather delay %v/transfer)\n",
+				cmp.Technique.Mu, cmp.Technique.MeanGatherDelay)
+		}
+		return
+	}
+	rep, err := dmamem.Run(s, tr)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		emitJSON(rep)
+		return
+	}
+	fmt.Println(rep)
+	fmt.Println(rep.Breakdown)
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fatal(err)
+	}
+}
+
+func loadTrace(file, workload string, d time.Duration, seed uint64) (*dmamem.Trace, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return dmamem.ReadTrace(f)
+	}
+	switch workload {
+	case "synthetic-st":
+		return dmamem.SyntheticStorageTrace(dmamem.SyntheticOptions{Duration: d, Seed: seed})
+	case "synthetic-db":
+		return dmamem.SyntheticDatabaseTrace(dmamem.SyntheticOptions{Duration: d, Seed: seed})
+	case "oltp-st":
+		return dmamem.StorageServerTrace(dmamem.ServerOptions{Duration: d, Seed: seed})
+	case "oltp-db":
+		return dmamem.DatabaseServerTrace(dmamem.ServerOptions{Duration: d, Seed: seed})
+	}
+	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmamem-sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Command dmamem-timeline draws the request-level timelines of the
+// paper's Figure 2(a) (one stream wasting two thirds of the chip's
+// active cycles) and Figure 3 (three gathered streams in lockstep).
+//
+// Usage:
+//
+//	dmamem-timeline [-streams 1] [-reqs 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"dmamem/internal/experiments"
+)
+
+func main() {
+	streams := flag.Int("streams", 0, "number of interleaved streams (0 = show both figures)")
+	reqs := flag.Int("reqs", 4, "DMA-memory requests per stream")
+	flag.Parse()
+
+	if *streams > 0 {
+		fmt.Print(experiments.NewTimeline(*streams, *reqs).String())
+		return
+	}
+	fmt.Print(experiments.NewTimeline(1, *reqs).String())
+	fmt.Println()
+	fmt.Print(experiments.NewTimeline(3, *reqs).String())
+}

@@ -1,0 +1,104 @@
+// Command dmamem-trace generates, converts and inspects memory-access
+// traces.
+//
+// Usage:
+//
+//	dmamem-trace gen  -workload synthetic-st -duration 100ms -o trace.bin
+//	dmamem-trace info trace.bin
+//	dmamem-trace cdf  trace.bin          # Figure 4 style popularity CDF
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"dmamem"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "gen":
+		gen(os.Args[2:])
+	case "info":
+		info(os.Args[2:], false)
+	case "cdf":
+		info(os.Args[2:], true)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: dmamem-trace gen|info|cdf ...")
+	os.Exit(2)
+}
+
+func gen(args []string) {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	workload := fs.String("workload", "synthetic-st", "synthetic-st | synthetic-db | oltp-st | oltp-db")
+	duration := fs.Duration("duration", 100*time.Millisecond, "trace duration")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	out := fs.String("o", "trace.bin", "output file")
+	_ = fs.Parse(args)
+
+	var tr *dmamem.Trace
+	var err error
+	switch *workload {
+	case "synthetic-st":
+		tr, err = dmamem.SyntheticStorageTrace(dmamem.SyntheticOptions{Duration: *duration, Seed: *seed})
+	case "synthetic-db":
+		tr, err = dmamem.SyntheticDatabaseTrace(dmamem.SyntheticOptions{Duration: *duration, Seed: *seed})
+	case "oltp-st":
+		tr, err = dmamem.StorageServerTrace(dmamem.ServerOptions{Duration: *duration, Seed: *seed})
+	case "oltp-db":
+		tr, err = dmamem.DatabaseServerTrace(dmamem.ServerOptions{Duration: *duration, Seed: *seed})
+	default:
+		err = fmt.Errorf("unknown workload %q", *workload)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := tr.Save(f); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s: %s\n", *out, tr.Summary())
+}
+
+func info(args []string, cdf bool) {
+	if len(args) < 1 {
+		usage()
+	}
+	f, err := os.Open(args[0])
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	tr, err := dmamem.ReadTrace(f)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(tr.Summary())
+	fmt.Printf("burstiness (inter-arrival CV): %.2f; chip-load skew (CV): %.2f\n",
+		tr.Burstiness(), tr.ChipLoadSkew())
+	if cdf {
+		fmt.Printf("%10s %10s\n", "pages%", "accesses%")
+		for _, p := range tr.PopularityCurve(10) {
+			fmt.Printf("%9.0f%% %9.1f%%\n", 100*p.PageFrac, 100*p.AccessFrac)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmamem-trace:", err)
+	os.Exit(1)
+}

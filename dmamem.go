@@ -1,0 +1,226 @@
+// Package dmamem is a trace-driven simulator for DMA-aware memory
+// energy management in data servers, reproducing the system of
+//
+//	Pandey, Jiang, Zhou, Bianchini.
+//	"DMA-Aware Memory Energy Management." HPCA 2006.
+//
+// Data servers move almost all of their memory traffic with network
+// and disk DMA transfers. Because an I/O bus is about three times
+// slower than an RDRAM chip, a chip serving one DMA stream is idle —
+// at full power — two thirds of the time. This package implements the
+// paper's two remedies on top of a multi-power-state memory model:
+//
+//   - Temporal alignment (DMA-TA): the memory controller delays DMA
+//     requests aimed at sleeping chips and gathers transfers from
+//     different I/O buses so their request streams interleave in
+//     lockstep, bounded by a slack-based performance guarantee derived
+//     from a client-perceived response-time limit (CP-Limit).
+//   - Popularity-based layout (PL): pages are migrated so that the
+//     hottest pages share a few chips, multiplying the alignment
+//     opportunities and letting cold chips sleep.
+//
+// Quick start:
+//
+//	tr, _ := dmamem.SyntheticStorageTrace(dmamem.SyntheticOptions{
+//		Duration: 100 * time.Millisecond,
+//	})
+//	cmp, _ := dmamem.Compare(dmamem.Simulation{
+//		Technique: dmamem.TemporalAlignmentWithLayout,
+//		CPLimit:   0.10,
+//	}, tr)
+//	fmt.Printf("energy savings: %.1f%%\n", 100*cmp.Savings)
+package dmamem
+
+import (
+	"fmt"
+	"time"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/controller"
+	"dmamem/internal/core"
+	"dmamem/internal/energy"
+	"dmamem/internal/layout"
+	"dmamem/internal/memsys"
+	"dmamem/internal/policy"
+	"dmamem/internal/sim"
+)
+
+// Technique selects the energy-management scheme.
+type Technique int
+
+const (
+	// Baseline is the dynamic threshold policy alone (Lebeck et al.),
+	// the paper's point of comparison.
+	Baseline Technique = iota
+	// TemporalAlignment adds DMA-TA gathering on top of the baseline.
+	TemporalAlignment
+	// TemporalAlignmentWithLayout adds both DMA-TA and the
+	// popularity-based layout (the paper's DMA-TA-PL).
+	TemporalAlignmentWithLayout
+	// NoPowerManagement keeps every chip active; the performance
+	// reference the CP-Limit guarantee is defined against.
+	NoPowerManagement
+)
+
+func (t Technique) String() string {
+	switch t {
+	case Baseline:
+		return "baseline"
+	case TemporalAlignment:
+		return "dma-ta"
+	case TemporalAlignmentWithLayout:
+		return "dma-ta-pl"
+	case NoPowerManagement:
+		return "no-pm"
+	}
+	return fmt.Sprintf("Technique(%d)", int(t))
+}
+
+// Simulation configures one run. The zero value is the paper's
+// baseline system: 32 x 32 MB RDRAM chips at 3.2 GB/s, three PCI-X
+// buses, dynamic threshold power management, interleaved page layout.
+type Simulation struct {
+	// Technique to apply.
+	Technique Technique
+	// CPLimit is the permitted client-perceived mean response-time
+	// degradation (e.g. 0.10); it parameterizes DMA-TA's slack.
+	// Ignored by Baseline and NoPowerManagement.
+	CPLimit float64
+	// PLGroups is the number of popularity groups including the cold
+	// group (the paper's best setting, and the default, is 2).
+	PLGroups int
+	// PLHotShare is the fraction of DMA requests the hot chips are
+	// sized to absorb (default 0.6).
+	PLHotShare float64
+	// PLInterval is the layout rebalance period (default 20ms).
+	PLInterval time.Duration
+	// Buses is the number of I/O buses (default 3).
+	Buses int
+	// BusBandwidth in bytes/s (default PCI-X, 1.064 GB/s).
+	BusBandwidth float64
+	// StaticMode, when non-empty ("standby", "nap", "powerdown"),
+	// replaces the dynamic threshold policy with a static one.
+	StaticMode string
+	// MemoryTech selects the memory technology: "" or "rdram" for the
+	// paper's 3.2 GB/s RDRAM part, "ddr" for a 2.1 GB/s DDR400-class
+	// part (Section 5.4's "other memory technologies").
+	MemoryTech string
+}
+
+func (s Simulation) coreConfig() (core.Config, error) {
+	cfg := core.Config{}
+	if s.Buses != 0 || s.BusBandwidth != 0 {
+		bc := bus.DefaultConfig()
+		if s.Buses != 0 {
+			bc.Count = s.Buses
+		}
+		if s.BusBandwidth != 0 {
+			bc.Bandwidth = s.BusBandwidth
+		}
+		cfg.Buses = bc
+	}
+	switch s.MemoryTech {
+	case "", "rdram":
+	case "ddr":
+		cfg.MemSpec = energy.DDR400()
+	default:
+		return cfg, fmt.Errorf("dmamem: unknown memory technology %q", s.MemoryTech)
+	}
+	switch s.StaticMode {
+	case "":
+	case "standby":
+		cfg.Policy = &policy.Static{Mode: 1}
+	case "nap":
+		cfg.Policy = &policy.Static{Mode: 2}
+	case "powerdown":
+		cfg.Policy = &policy.Static{Mode: 3}
+	default:
+		return cfg, fmt.Errorf("dmamem: unknown static mode %q", s.StaticMode)
+	}
+	switch s.Technique {
+	case Baseline:
+	case NoPowerManagement:
+		cfg.Policy = policy.AlwaysActive{}
+		cfg.Scheme = "no-pm"
+	case TemporalAlignment, TemporalAlignmentWithLayout:
+		if s.CPLimit <= 0 {
+			return cfg, fmt.Errorf("dmamem: %v needs a positive CPLimit", s.Technique)
+		}
+		cfg.TA = controller.DefaultTA(0)
+		cfg.CPLimit = s.CPLimit
+		if s.Technique == TemporalAlignmentWithLayout {
+			pl := layout.DefaultConfig()
+			if s.PLGroups != 0 {
+				pl.Groups = s.PLGroups
+			}
+			if s.PLHotShare != 0 {
+				pl.HotShare = s.PLHotShare
+			}
+			if s.PLInterval != 0 {
+				pl.Interval = sim.Duration(s.PLInterval.Nanoseconds()) * sim.Nanosecond
+			}
+			cfg.PL = &pl
+		}
+	default:
+		return cfg, fmt.Errorf("dmamem: unknown technique %d", s.Technique)
+	}
+	return cfg, nil
+}
+
+// Run simulates one configuration over a trace and reports the energy
+// and performance outcome.
+func Run(s Simulation, tr *Trace) (*Report, error) {
+	cfg, err := s.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Run(cfg, tr.t)
+	if err != nil {
+		return nil, err
+	}
+	return newReport(res), nil
+}
+
+// Comparison is the outcome of running a technique against the
+// baseline over the same trace and metering window.
+type Comparison struct {
+	Baseline  *Report
+	Technique *Report
+	// Savings is the fractional energy reduction relative to the
+	// baseline (the paper's headline metric).
+	Savings float64
+}
+
+// Compare runs the baseline and the given technique over the trace
+// with a shared metering window. The baseline inherits the same
+// hardware configuration (buses, static policy) so the comparison
+// isolates the technique.
+func Compare(s Simulation, tr *Trace) (*Comparison, error) {
+	tech, err := s.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	baseSim := s
+	baseSim.Technique = Baseline
+	baseCfg, err := baseSim.coreConfig()
+	if err != nil {
+		return nil, err
+	}
+	base, techRes, savings, err := core.RunBaselinePair(baseCfg, tech, tr.t)
+	if err != nil {
+		return nil, err
+	}
+	return &Comparison{
+		Baseline:  newReport(base),
+		Technique: newReport(techRes),
+		Savings:   savings,
+	}, nil
+}
+
+// MemoryGeometry returns the simulated memory system's shape, for
+// callers constructing their own traces: chips, pages per chip, page
+// size in bytes.
+func MemoryGeometry() (chips, pagesPerChip, pageBytes int) {
+	g := memsys.Default()
+	return g.NumChips, g.PagesPerChip(), g.PageBytes
+}

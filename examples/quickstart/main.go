@@ -1,0 +1,42 @@
+// Quickstart: generate the paper's Synthetic-St workload, run the
+// baseline and DMA-TA-PL at a 10% client-perceived response-time
+// budget, and print the energy comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmamem"
+)
+
+func main() {
+	tr, err := dmamem.SyntheticStorageTrace(dmamem.SyntheticOptions{
+		Duration: 50 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", tr.Summary())
+
+	cmp, err := dmamem.Compare(dmamem.Simulation{
+		Technique: dmamem.TemporalAlignmentWithLayout,
+		CPLimit:   0.10,
+	}, tr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nbaseline: ", cmp.Baseline)
+	fmt.Println("  ", cmp.Baseline.Breakdown)
+	fmt.Println("dma-ta-pl:", cmp.Technique)
+	fmt.Println("  ", cmp.Technique.Breakdown)
+	fmt.Printf("\nenergy savings: %.1f%%\n", 100*cmp.Savings)
+	fmt.Printf("utilization factor: %.2f -> %.2f\n",
+		cmp.Baseline.UtilizationFactor, cmp.Technique.UtilizationFactor)
+	fmt.Printf("mean transfer time: %v -> %v (gather delay %v)\n",
+		cmp.Baseline.MeanServiceTime, cmp.Technique.MeanServiceTime,
+		cmp.Technique.MeanGatherDelay)
+}

@@ -1,0 +1,54 @@
+// Sweep example: explore how hardware provisioning changes what
+// DMA-aware management is worth — the paper's Figure 10 question. The
+// memory rate stays at 3.2 GB/s while the I/O bus generation varies
+// from PCI-X up to a hypothetical bus as fast as the memory itself.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"dmamem"
+)
+
+func main() {
+	tr, err := dmamem.SyntheticStorageTrace(dmamem.SyntheticOptions{
+		Duration: 40 * time.Millisecond,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("workload:", tr.Summary())
+	fmt.Println("\nsavings vs memory:I/O bandwidth ratio (3 buses, 10% CP-Limit):")
+	fmt.Printf("%14s %8s %12s %12s\n", "bus", "ratio", "DMA-TA", "DMA-TA-PL")
+
+	buses := []struct {
+		name string
+		bw   float64
+	}{
+		{"0.5 GB/s", 0.5e9},
+		{"PCI-X 1.06", 1.064e9},
+		{"2 GB/s", 2e9},
+		{"3 GB/s", 3e9},
+	}
+	for _, b := range buses {
+		ta, err := dmamem.Compare(dmamem.Simulation{
+			Technique: dmamem.TemporalAlignment, CPLimit: 0.10,
+			BusBandwidth: b.bw}, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pl, err := dmamem.Compare(dmamem.Simulation{
+			Technique: dmamem.TemporalAlignmentWithLayout, CPLimit: 0.10,
+			BusBandwidth: b.bw}, tr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%14s %8.1f %11.1f%% %11.1f%%\n",
+			b.name, 3.2e9/b.bw, 100*ta.Savings, 100*pl.Savings)
+	}
+	fmt.Println("\n(a bus as fast as the memory leaves no mismatch to reclaim;")
+	fmt.Println(" the slower the I/O bus, the more energy alignment recovers)")
+}

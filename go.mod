@@ -1,0 +1,3 @@
+module dmamem
+
+go 1.22

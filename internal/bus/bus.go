@@ -1,0 +1,203 @@
+// Package bus models the I/O buses of a data server and the way
+// concurrent DMA streams share bus and memory-chip bandwidth.
+//
+// The paper's default configuration is three 133 MHz, 64-bit PCI-X
+// buses (1.064 GB/s each) attached to a memory bus whose chips each
+// sustain 3.2 GB/s. A DMA engine on a bus emits one 8-byte DMA-memory
+// request per bus beat; several engines on one bus time-share it, and
+// several buses can deliver requests to the same chip concurrently —
+// the concurrency DMA-TA exploits.
+//
+// Rates of concurrent streams are computed with a max-min fair
+// (progressive-filling) allocation subject to two capacity constraints
+// per stream: its bus and its destination chip. This mirrors
+// round-robin arbitration on both resources.
+package bus
+
+import (
+	"fmt"
+
+	"dmamem/internal/sim"
+)
+
+// PCIXBandwidth is the peak transfer rate of one 133 MHz 64-bit PCI-X
+// bus in bytes/s. 133 MHz x 8 B = 1.064 GB/s; the paper rounds the
+// memory:I/O ratio to 3 with 3.2 GB/s RDRAM, because one 8-byte request
+// is served in 4 memory cycles and the next arrives 12 cycles after the
+// previous one (Figure 2a).
+const PCIXBandwidth = 8.0 / (7500e-12) // exactly one 8 B beat per 12 memory cycles
+
+// Config describes the I/O subsystem.
+type Config struct {
+	Count     int     // number of I/O buses
+	Bandwidth float64 // per-bus bandwidth, bytes/s
+}
+
+// DefaultConfig returns the paper's three-PCI-X-bus setup.
+func DefaultConfig() Config { return Config{Count: 3, Bandwidth: PCIXBandwidth} }
+
+// Validate reports a descriptive error for nonsensical configs.
+func (c Config) Validate() error {
+	if c.Count <= 0 {
+		return fmt.Errorf("bus: Count must be positive, got %d", c.Count)
+	}
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("bus: Bandwidth must be positive, got %g", c.Bandwidth)
+	}
+	return nil
+}
+
+// BeatGap is the inter-arrival time of successive 8-byte DMA-memory
+// requests of a single stream using the full bus.
+func (c Config) BeatGap() sim.Duration {
+	return sim.FromSeconds(8.0 / c.Bandwidth)
+}
+
+// GatherTarget is the paper's k = ceil(Rm/Rb): the number of distinct
+// buses whose combined delivery rate saturates one chip.
+func GatherTarget(chipBW, busBW float64) int {
+	if chipBW <= 0 || busBW <= 0 {
+		panic(fmt.Sprintf("bus: nonpositive bandwidth chip=%g bus=%g", chipBW, busBW))
+	}
+	k := int(chipBW / busBW)
+	if float64(k)*busBW < chipBW {
+		k++
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+// Flow identifies one DMA stream for rate allocation: it runs over Bus
+// and targets Chip.
+type Flow struct {
+	Bus  int
+	Chip int
+}
+
+// Allocator computes max-min fair rates for a set of flows. It reuses
+// scratch buffers across calls, so a single Allocator must not be used
+// concurrently.
+type Allocator struct {
+	busCap  []float64
+	chipCap float64
+
+	// scratch
+	remBus    []float64
+	remChip   map[int]float64
+	busCount  []int
+	chipCount map[int]int
+}
+
+// NewAllocator builds an allocator for buses with the given capacities
+// (bytes/s) and a uniform per-chip capacity.
+func NewAllocator(busCap []float64, chipCap float64) *Allocator {
+	if len(busCap) == 0 {
+		panic("bus: allocator needs at least one bus")
+	}
+	for i, c := range busCap {
+		if c <= 0 {
+			panic(fmt.Sprintf("bus: bus %d capacity %g", i, c))
+		}
+	}
+	if chipCap <= 0 {
+		panic(fmt.Sprintf("bus: chip capacity %g", chipCap))
+	}
+	return &Allocator{
+		busCap:    busCap,
+		chipCap:   chipCap,
+		remBus:    make([]float64, len(busCap)),
+		remChip:   make(map[int]float64),
+		busCount:  make([]int, len(busCap)),
+		chipCount: make(map[int]int),
+	}
+}
+
+// Allocate returns the max-min fair rate of each flow, in bytes/s,
+// subject to sum(rates on bus b) <= busCap[b] and sum(rates into chip
+// c) <= chipCap. The result slice is valid until the next call.
+func (a *Allocator) Allocate(flows []Flow) []float64 {
+	rates := make([]float64, len(flows))
+	if len(flows) == 0 {
+		return rates
+	}
+	copy(a.remBus, a.busCap)
+	for i := range a.busCount {
+		a.busCount[i] = 0
+	}
+	clear(a.remChip)
+	clear(a.chipCount)
+	for _, f := range flows {
+		if f.Bus < 0 || f.Bus >= len(a.busCap) {
+			panic(fmt.Sprintf("bus: flow references bus %d of %d", f.Bus, len(a.busCap)))
+		}
+		a.busCount[f.Bus]++
+		a.chipCount[f.Chip]++
+		a.remChip[f.Chip] = a.chipCap
+	}
+	frozen := make([]bool, len(flows))
+	remaining := len(flows)
+
+	for remaining > 0 {
+		// Find the bottleneck resource: the one whose equal share among
+		// its unfrozen flows is smallest.
+		share := -1.0
+		for b, n := range a.busCount {
+			if n == 0 {
+				continue
+			}
+			s := a.remBus[b] / float64(n)
+			if share < 0 || s < share {
+				share = s
+			}
+		}
+		for c, n := range a.chipCount {
+			if n == 0 {
+				continue
+			}
+			s := a.remChip[c] / float64(n)
+			if share < 0 || s < share {
+				share = s
+			}
+		}
+		if share < 0 {
+			panic("bus: unfrozen flows but no active resource")
+		}
+		// Freeze every unfrozen flow on a saturated resource at the
+		// bottleneck share; give the share to all others provisionally
+		// by reducing remaining capacity.
+		progressed := false
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			rates[i] += share
+			a.remBus[f.Bus] -= share
+			a.remChip[f.Chip] -= share
+		}
+		const eps = 1e-6 // bytes/s; capacities are ~1e9
+		for i, f := range flows {
+			if frozen[i] {
+				continue
+			}
+			if a.remBus[f.Bus] <= eps || a.remChip[f.Chip] <= eps {
+				frozen[i] = true
+				remaining--
+				a.busCount[f.Bus]--
+				a.chipCount[f.Chip]--
+				progressed = true
+			}
+		}
+		if !progressed {
+			// Numerical stall: freeze everything at current rates.
+			for i := range flows {
+				if !frozen[i] {
+					frozen[i] = true
+					remaining--
+				}
+			}
+		}
+	}
+	return rates
+}

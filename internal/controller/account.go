@@ -1,0 +1,187 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/energy"
+	"dmamem/internal/sim"
+)
+
+// Same-instant event priorities: completions observe the interval
+// first, then new arrivals, then policy timers and epochs.
+const (
+	prioCompletion int8 = 0
+	prioArrival    int8 = 1
+	prioWake       int8 = 2
+	prioPolicy     int8 = 3
+	prioEpoch      int8 = 4
+)
+
+// accountAll charges every resident-Active chip for the span since its
+// accounting cursor: serving time from the fluid rates, accumulated
+// processor service, and the residual idle (transfer idle when a
+// stream is in progress, threshold idle otherwise). It also drains
+// flow remainders and deposits TA slack credits for the DMA-memory
+// requests that arrived during the span. Every event handler calls it
+// first, before mutating flow or power state.
+func (c *Controller) accountAll(now sim.Time) {
+	for _, cs := range c.chips {
+		if !cs.chip.Resident() || cs.chip.State() != energy.Active {
+			continue
+		}
+		c.accountChip(cs, now)
+	}
+}
+
+func (c *Controller) accountChip(cs *chipState, now sim.Time) {
+	span := now.Sub(cs.chip.Cursor())
+	if span < 0 {
+		panic(fmt.Sprintf("controller: chip %d span %v negative", cs.chip.ID, span))
+	}
+	if span == 0 {
+		return
+	}
+	// Drain flow remainders and compute the burst-coverage fraction of
+	// each bus at this chip: f_b = (rates of bus-b streams into the
+	// chip) / Rb. Bursts from different buses overlap independently,
+	// so the chip must be active for 1 - prod(1 - f_b) of the span;
+	// the rest of the span it naps between bursts.
+	var delivered float64 // bytes in this span
+	var notCovered = 1.0  // prod over buses of (1 - f_b)
+	if len(cs.flows) > 0 {
+		var busRate [64]float64
+		for _, f := range cs.flows {
+			d := f.rate * span.Seconds()
+			if d > f.remaining {
+				d = f.remaining
+			}
+			f.remaining -= d
+			delivered += d
+			busRate[f.bus] += f.rate
+		}
+		for b := 0; b < c.cfg.Buses.Count; b++ {
+			fb := busRate[b] / c.cfg.Buses.Bandwidth
+			if fb > 1 {
+				fb = 1
+			}
+			notCovered *= 1 - fb
+		}
+	}
+	envelope := sim.Duration(float64(span) * (1 - notCovered))
+	serving := sim.FromSeconds(delivered / c.cfg.Geometry.ChipBandwidth)
+	if serving > envelope {
+		envelope = serving // rounding guard
+	}
+	if envelope > span {
+		envelope = span
+	}
+	// Processor accesses have priority (Section 4.1.3) and are served
+	// inside the bandwidth-mismatch gaps of the DMA envelope: in the
+	// unaligned baseline they consume active-idle cycles for free
+	// (category shift only), while on an aligned chip the gaps are
+	// gone and the accesses extend the active time — the Figure 9
+	// effect.
+	idle := envelope - serving
+	proc := cs.procBusy
+	cs.procBusy = 0
+	absorbed := proc
+	if absorbed > idle {
+		absorbed = idle
+	}
+	idleDMA := idle - absorbed
+	procExtra := proc - absorbed
+	if envelope+procExtra > span {
+		// The span cannot absorb all the processor work; the residue
+		// carries over and is served in the next span.
+		spill := envelope + procExtra - span
+		procExtra = span - envelope
+		cs.procBusy += spill
+		c.clampedProc++
+	}
+	microNap := sim.Duration(0)
+	if len(cs.flows) > 0 {
+		// Gaps between bursts while transfers are in flight: nappable.
+		microNap = span - envelope - procExtra
+	}
+	cs.chip.AccountActiveSpan(now, serving, absorbed+procExtra, idleDMA, microNap)
+
+	if c.taOn && delivered > 0 {
+		// One mu*T slack credit per DMA-memory request that arrived.
+		c.slack += c.muT * (delivered / c.reqBytes)
+	}
+}
+
+// recompute reallocates rates after any change to the flow set and
+// schedules the next completion event. Callers must have called
+// accountAll(now) immediately before.
+func (c *Controller) recompute(now sim.Time) {
+	c.eng.Cancel(c.complEvt)
+	for _, cs := range c.chips {
+		cs.sumRate = 0
+	}
+	if len(c.allFlows) == 0 {
+		return
+	}
+	fl := make([]bus.Flow, len(c.allFlows))
+	for i, f := range c.allFlows {
+		fl[i] = bus.Flow{Bus: f.bus, Chip: f.chip}
+	}
+	rates := c.alloc.Allocate(fl)
+	next := sim.Time(math.MaxInt64)
+	for i, f := range c.allFlows {
+		f.rate = rates[i]
+		c.chips[f.chip].sumRate += f.rate
+		dt := sim.Duration(math.Ceil(f.remaining / f.rate * 1e12))
+		if dt < 1 {
+			dt = 1
+		}
+		if t := now.Add(dt); t < next {
+			next = t
+		}
+	}
+	c.complEvt = c.eng.SchedulePrio(next, prioCompletion, c.onCompletion)
+}
+
+// onCompletion fires when the earliest flow drains.
+func (c *Controller) onCompletion(e *sim.Engine) {
+	now := e.Now()
+	c.accountAll(now)
+	// Collect finished flows (sub-byte residue counts as done).
+	const eps = 1e-3
+	var finished []*flow
+	kept := c.allFlows[:0]
+	for _, f := range c.allFlows {
+		if f.remaining <= eps {
+			finished = append(finished, f)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	c.allFlows = kept
+	if len(finished) == 0 {
+		// Numerical near-miss: reschedule from fresh remainders.
+		c.recompute(now)
+		return
+	}
+	for _, f := range finished {
+		cs := c.chips[f.chip]
+		removeFlow(&cs.flows, f)
+		c.advanceTransfer(f.x, now)
+	}
+	for _, f := range finished {
+		c.maybeIdle(c.chips[f.chip], now)
+	}
+	c.recompute(now)
+}
+
+func removeFlow(flows *[]*flow, f *flow) {
+	for i, g := range *flows {
+		if g == f {
+			*flows = append((*flows)[:i], (*flows)[i+1:]...)
+			return
+		}
+	}
+	panic("controller: flow not found on its chip")
+}

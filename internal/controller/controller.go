@@ -1,0 +1,294 @@
+// Package controller implements the smart memory controller at the
+// heart of the paper: per-chip power management driven by a low-level
+// policy, fluid-model service of concurrent DMA streams over multiple
+// I/O buses, processor-access priority, and the DMA-TA temporal
+// alignment mechanism with its slack-based performance guarantee
+// (Section 4.1).
+//
+// Timing model. Flowing transfers are piecewise-constant fluid streams:
+// whenever the set of active (bus, chip) streams changes, rates are
+// recomputed with a max-min fair allocation subject to bus and chip
+// capacities, and the elapsed interval is charged to each chip
+// (serving time = delivered bytes / chip rate; the rest of the active
+// span is the Figure 2(a) bandwidth-mismatch idle). Gated transfers
+// are held at request granularity exactly as in the paper: only the
+// first DMA-memory request of a gated transfer is pending, and slack
+// bookkeeping follows Section 4.1.2 (mu*T credit per arriving request,
+// epoch charges for pending requests, transition and processor-access
+// charges).
+package controller
+
+import (
+	"fmt"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/dma"
+	"dmamem/internal/energy"
+	"dmamem/internal/layout"
+	"dmamem/internal/memsys"
+	"dmamem/internal/metrics"
+	"dmamem/internal/policy"
+	"dmamem/internal/sim"
+)
+
+// TAConfig enables DMA-TA.
+type TAConfig struct {
+	// Mu is the per-DMA-memory-request slack multiplier: average
+	// request service time may degrade to (1+Mu)*T. Derived from
+	// CP-Limit via metrics.Calibration.
+	Mu float64
+	// EpochLength for the pessimistic slack charging of pending
+	// requests. The paper finds results insensitive to it as long as
+	// it is not too large.
+	EpochLength sim.Duration
+	// GatherTarget overrides k = ceil(Rm/Rb) when positive.
+	GatherTarget int
+	// MaxDelay is the hard bound on how long any single transfer may
+	// be gated — the paper's "or the access delay exceeds a threshold
+	// value". Zero means auto: the slack budget of a four-page
+	// transfer (Mu * T * 4 * pageBytes/8).
+	MaxDelay sim.Duration
+	// NoCostBenefit disables the run-time cost-benefit check before
+	// gating. With the check (the default), a transfer is only held
+	// when the chip's recent DMA inter-arrival gap suggests that k-1
+	// further transfers can plausibly arrive within MaxDelay; holding
+	// on a chip too cold to gather wastes slack that hot chips could
+	// spend on successful alignments. The paper gates unconditionally
+	// and lists run-time cost-benefit analysis as future work; the
+	// ablation benches quantify the difference.
+	NoCostBenefit bool
+}
+
+// DefaultTA returns a TA configuration for a given mu.
+func DefaultTA(mu float64) *TAConfig {
+	return &TAConfig{Mu: mu, EpochLength: 10 * sim.Microsecond}
+}
+
+// Validate reports a descriptive error for unusable configs.
+func (c *TAConfig) Validate() error {
+	switch {
+	case c.Mu < 0:
+		return fmt.Errorf("controller: Mu = %g", c.Mu)
+	case c.EpochLength <= 0:
+		return fmt.Errorf("controller: EpochLength = %v", c.EpochLength)
+	case c.GatherTarget < 0:
+		return fmt.Errorf("controller: GatherTarget = %d", c.GatherTarget)
+	}
+	return nil
+}
+
+// Config assembles a memory system.
+type Config struct {
+	Geometry memsys.Geometry
+	Buses    bus.Config
+	Policy   policy.Policy
+	// TA enables temporal alignment when non-nil.
+	TA *TAConfig
+	// Layout, when non-nil, supplies the dynamic page mapping (PL) and
+	// receives popularity observations. When nil, Mapper is used.
+	Layout *layout.Manager
+	// Mapper is the static baseline layout; nil means interleaved.
+	Mapper memsys.Mapper
+	// InitialState chips start in; the default (zero value) is Active,
+	// letting the policy idle them down immediately.
+	InitialState energy.State
+	// MemSpec selects the memory technology power model; nil means the
+	// paper's RDRAM part. Geometry.ChipBandwidth should match the
+	// spec's bandwidth.
+	MemSpec *energy.Spec
+}
+
+// Validate reports a descriptive error for unusable configs.
+func (c *Config) Validate() error {
+	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Buses.Validate(); err != nil {
+		return err
+	}
+	if c.Policy == nil {
+		return fmt.Errorf("controller: nil policy")
+	}
+	if c.TA != nil {
+		if err := c.TA.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// xferState tracks one in-flight transfer.
+type xferState struct {
+	t       dma.Transfer
+	pageIdx int // pages already fully handed to segments
+	seg     dma.Segment
+	segSet  bool
+
+	gatedAt     sim.Time     // when the transfer was gated
+	gatherDelay sim.Duration // total gating delay accumulated
+}
+
+func (x *xferState) remainingPages() int { return x.t.Pages - x.pageIdx }
+
+// flow is one flowing segment.
+type flow struct {
+	x         *xferState
+	chip, bus int
+	remaining float64 // bytes
+	rate      float64 // bytes/s, set by the allocator
+}
+
+// chipState wraps a chip with the controller-side queues.
+type chipState struct {
+	chip  *memsys.Chip
+	flows []*flow
+	// gated transfers held by DMA-TA (chip in a low-power mode).
+	gated []*xferState
+	// waiting transfers: the chip is waking; they start on completion.
+	waiting []*xferState
+	// procQueue: processor accesses waiting for an in-flight wake.
+	procQueue int
+	// Arrival-rate estimate for the gating cost-benefit check.
+	lastArrival sim.Time
+	ewmaGapPs   float64
+	// idleSince marks when the chip last went idle in Active (for
+	// adaptive policies' gap observations).
+	idleSince sim.Time
+	// procBusy accumulated against the current active span.
+	procBusy sim.Duration
+	// sumRate of the current flows, bytes/s.
+	sumRate float64
+	// idleTimer is the pending policy step, if any.
+	idleTimer sim.EventID
+	// wakePending marks a wake sequence in flight (possibly waiting for
+	// a down transition to finish first).
+	wakePending bool
+}
+
+// Controller is the simulator core for one run. Use New, feed events
+// via StartTransfer/ProcAccess scheduled on the same engine, then call
+// Finish and Report.
+type Controller struct {
+	cfg    Config
+	eng    *sim.Engine
+	spec   *energy.Spec
+	chips  []*chipState
+	alloc  *bus.Allocator
+	mapper memsys.Mapper
+
+	allFlows []*flow
+	complEvt sim.EventID
+
+	// DMA-TA state.
+	taOn     bool
+	k        int     // gather target
+	muT      float64 // slack credit per request, ps
+	maxDelay sim.Duration
+	slack    float64 // ps
+	nGated   int
+	epochEvt sim.EventID
+
+	// Derived constants.
+	lineTime sim.Duration // processor cache-line service time
+	reqBytes float64
+
+	// Statistics.
+	nextXferID   int64
+	xferTimes    metrics.DurationStats
+	gatherDelays metrics.DurationStats
+	procAccesses int64
+	procWakes    int64
+	transfers    int64
+	clampedProc  int64
+
+	// Gating outcome counters (transfers released by each path).
+	RelGathered int64 // k distinct buses reached
+	RelSlack    int64 // slack exhausted (n*U/2 condition)
+	RelMaxDelay int64 // hard delay bound
+	RelDrain    int64 // chip became active for another reason
+
+	// PeakGated is the maximum number of simultaneously gated
+	// transfers; times 8 bytes it is the controller buffer footprint
+	// the paper bounds in Section 4.1.4.
+	PeakGated int
+}
+
+// PeakBufferBytes returns the controller-side buffer space the gated
+// first requests needed at their peak (Section 4.1.4 sizes this at
+// buses x 8 B x chips = 768 B for the default configuration).
+func (c *Controller) PeakBufferBytes() int { return c.PeakGated * memsys.RequestBytes }
+
+// New builds a controller on an engine.
+func New(eng *sim.Engine, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	mapper := cfg.Mapper
+	if cfg.Layout != nil {
+		mapper = cfg.Layout
+	}
+	if mapper == nil {
+		mapper = memsys.InterleavedMapper{Chips: cfg.Geometry.NumChips}
+	}
+	busCaps := make([]float64, cfg.Buses.Count)
+	for i := range busCaps {
+		busCaps[i] = cfg.Buses.Bandwidth
+	}
+	spec := cfg.MemSpec
+	if spec == nil {
+		spec = energy.RDRAM1600()
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	c := &Controller{
+		cfg:      cfg,
+		eng:      eng,
+		spec:     spec,
+		alloc:    bus.NewAllocator(busCaps, cfg.Geometry.ChipBandwidth),
+		mapper:   mapper,
+		lineTime: cfg.Geometry.CacheLineServiceTime(),
+		reqBytes: memsys.RequestBytes,
+	}
+	for i := 0; i < cfg.Geometry.NumChips; i++ {
+		cs := &chipState{chip: memsys.NewChipWithSpec(i, cfg.InitialState, eng.Now(), spec)}
+		c.chips = append(c.chips, cs)
+		if cfg.InitialState == energy.Active {
+			c.armPolicyTimer(cs, eng.Now())
+		}
+	}
+	if cfg.TA != nil {
+		c.taOn = true
+		c.k = cfg.TA.GatherTarget
+		if c.k == 0 {
+			c.k = bus.GatherTarget(cfg.Geometry.ChipBandwidth, cfg.Buses.Bandwidth)
+		}
+		if c.k > cfg.Buses.Count {
+			// Fewer buses than ceil(Rm/Rb): full chip utilization is
+			// unreachable, so gather the best alignment possible — one
+			// stream per bus.
+			c.k = cfg.Buses.Count
+		}
+		beat := cfg.Buses.BeatGap()
+		c.muT = cfg.TA.Mu * float64(beat)
+		c.maxDelay = cfg.TA.MaxDelay
+		if c.maxDelay == 0 {
+			reqsPerPage := float64(cfg.Geometry.PageBytes) / memsys.RequestBytes
+			c.maxDelay = sim.Duration(cfg.TA.Mu * float64(beat) * 4 * reqsPerPage)
+			if c.maxDelay < sim.Microsecond {
+				c.maxDelay = sim.Microsecond
+			}
+		}
+	}
+	return c, nil
+}
+
+// T returns the baseline DMA-memory request service time (one bus
+// beat), the paper's T.
+func (c *Controller) T() sim.Duration { return c.cfg.Buses.BeatGap() }
+
+// Slack returns the current slack pool (TA only), for tests.
+func (c *Controller) Slack() sim.Duration { return sim.Duration(c.slack) }
+
+// GatedCount returns the number of currently gated transfers.
+func (c *Controller) GatedCount() int { return c.nGated }

@@ -1,0 +1,197 @@
+package controller
+
+import (
+	"fmt"
+
+	"dmamem/internal/energy"
+	"dmamem/internal/memsys"
+	"dmamem/internal/policy"
+	"dmamem/internal/sim"
+)
+
+// scheduleWake begins (or joins) a wake sequence for a chip. If a
+// downward transition is in flight, the wake starts when it settles
+// (hardware completes transitions; it does not abort them).
+func (c *Controller) scheduleWake(cs *chipState, now sim.Time) {
+	if cs.wakePending {
+		return
+	}
+	cs.wakePending = true
+	c.cancelPolicyTimer(cs)
+	if obs, ok := c.cfg.Policy.(policy.GapObserver); ok && cs.idleSince > 0 {
+		obs.ObserveGap(now.Sub(cs.idleSince))
+		cs.idleSince = 0
+	}
+	switch cs.chip.Phase() {
+	case memsys.PhaseResident:
+		if cs.chip.State() == energy.Active {
+			panic(fmt.Sprintf("controller: wake of active chip %d", cs.chip.ID))
+		}
+		c.chargeWake(cs)
+		ready := cs.chip.BeginWake(now)
+		c.eng.SchedulePrio(ready, prioWake, func(e *sim.Engine) { c.onWakeComplete(cs, e) })
+	case memsys.PhaseSleeping:
+		// onSleepComplete observes wakePending and chains into the
+		// wake; nothing to schedule here.
+	case memsys.PhaseWaking:
+		panic(fmt.Sprintf("controller: chip %d waking without wakePending", cs.chip.ID))
+	}
+}
+
+// onWakeComplete makes the chip active and drains everything that
+// piled up behind the wake: queued processor accesses, gated
+// transfers (an active chip never delays requests), and waiting
+// segments.
+func (c *Controller) onWakeComplete(cs *chipState, e *sim.Engine) {
+	now := e.Now()
+	c.accountAll(now)
+	cs.chip.CompleteWake(now)
+	cs.wakePending = false
+
+	if cs.procQueue > 0 {
+		// Processor-access slack charge (Section 4.1.3): service time
+		// times the requests pending for this chip.
+		if c.taOn && len(cs.gated) > 0 {
+			c.slack -= float64(c.lineTime) * float64(cs.procQueue) * float64(len(cs.gated))
+		}
+		cs.procBusy += sim.Duration(cs.procQueue) * c.lineTime
+		cs.procQueue = 0
+	}
+	procTail := cs.procBusy
+	// Waiting transfers own their buses; their streams start now.
+	for _, x := range cs.waiting {
+		c.startFlow(cs, x, now)
+	}
+	cs.waiting = cs.waiting[:0]
+	// An active chip has no reason to keep delaying gated transfers;
+	// their streams start now.
+	if n := len(cs.gated); n > 0 {
+		c.RelDrain += int64(n)
+		gated := cs.gated
+		cs.gated = cs.gated[:0]
+		c.nGated -= n
+		for _, x := range gated {
+			x.gatherDelay += now.Sub(x.gatedAt)
+			c.issueSegment(x, now)
+		}
+	}
+	if len(cs.flows) == 0 {
+		// The idleness clock starts once queued processor work drains.
+		c.armPolicyTimer(cs, now.Add(procTail))
+	}
+	c.recompute(now)
+}
+
+// maybeIdle arms the policy chain when a chip has gone quiet.
+func (c *Controller) maybeIdle(cs *chipState, now sim.Time) {
+	if len(cs.flows) > 0 || len(cs.waiting) > 0 || cs.wakePending {
+		return
+	}
+	if !cs.chip.Resident() || cs.chip.State() != energy.Active {
+		return
+	}
+	c.armPolicyTimer(cs, now)
+}
+
+// armPolicyTimer schedules the next policy step for an idle chip.
+func (c *Controller) armPolicyTimer(cs *chipState, now sim.Time) {
+	c.cancelPolicyTimer(cs)
+	if cs.chip.State() == energy.Active {
+		// The idle gap (for adaptive policies) starts here.
+		cs.idleSince = now
+	}
+	wait, _, ok := c.cfg.Policy.NextStep(cs.chip.State())
+	if !ok {
+		return
+	}
+	cs.idleTimer = c.eng.SchedulePrio(now.Add(wait), prioPolicy,
+		func(e *sim.Engine) { c.onPolicyTimer(cs, e) })
+}
+
+func (c *Controller) cancelPolicyTimer(cs *chipState) {
+	if cs.idleTimer.Valid() {
+		c.eng.Cancel(cs.idleTimer)
+	}
+}
+
+// onPolicyTimer fires after the threshold of idleness: the chip drops
+// to the next lower power mode.
+func (c *Controller) onPolicyTimer(cs *chipState, e *sim.Engine) {
+	now := e.Now()
+	c.accountAll(now)
+	if cs.wakePending || len(cs.flows) > 0 || !cs.chip.Resident() {
+		return // raced with activity; the cancel path missed, stay up
+	}
+	_, next, ok := c.cfg.Policy.NextStep(cs.chip.State())
+	if !ok {
+		return
+	}
+	if cs.chip.State() == energy.Active && cs.procBusy > 0 {
+		// Outstanding processor service: the idleness clock restarts
+		// when it completes.
+		c.armPolicyTimer(cs, now.Add(cs.procBusy))
+		return
+	}
+	var ready sim.Time
+	if cs.chip.State() == energy.Active {
+		ready = cs.chip.BeginSleep(next, now)
+	} else {
+		ready = cs.chip.Deepen(next, now)
+	}
+	c.eng.SchedulePrio(ready, prioWake, func(e *sim.Engine) { c.onSleepComplete(cs, e) })
+}
+
+// onSleepComplete settles a downward transition, then either chains
+// into a pending wake or arms the next deeper policy step.
+func (c *Controller) onSleepComplete(cs *chipState, e *sim.Engine) {
+	now := e.Now()
+	cs.chip.CompleteSleep(now)
+	if cs.wakePending {
+		c.chargeWake(cs)
+		ready := cs.chip.BeginWake(now)
+		c.eng.SchedulePrio(ready, prioWake, func(e *sim.Engine) { c.onWakeComplete(cs, e) })
+		return
+	}
+	c.armPolicyTimer(cs, now)
+}
+
+// chargeWake debits the slack for the transition delay the pending
+// requests are about to experience: wake latency times the number of
+// requests pending for the chip (Section 4.1.2). Called immediately
+// before BeginWake.
+func (c *Controller) chargeWake(cs *chipState) {
+	if !c.taOn {
+		return
+	}
+	pending := len(cs.waiting) + len(cs.gated)
+	if pending == 0 {
+		return
+	}
+	wake := c.spec.WakeLatencyOf(cs.chip.State())
+	c.slack -= float64(wake) * float64(pending)
+}
+
+// ProcAccess injects one processor cache-line access at the current
+// engine time. Processor accesses take priority over DMA (the paper's
+// first solution in Section 4.1.3): they are never gated, and they
+// wake sleeping chips immediately.
+func (c *Controller) ProcAccess(page memsys.PageID) {
+	now := c.eng.Now()
+	cs := c.chips[c.mapper.ChipOf(page)]
+	c.procAccesses++
+	if cs.chip.Resident() && cs.chip.State() == energy.Active {
+		cs.procBusy += c.lineTime
+		if c.taOn && len(cs.gated) > 0 {
+			c.slack -= float64(c.lineTime) * float64(len(cs.gated))
+		}
+		if len(cs.flows) == 0 && !cs.wakePending {
+			// The access restarts the idleness clock, which begins
+			// when the outstanding service completes.
+			c.armPolicyTimer(cs, now.Add(cs.procBusy))
+		}
+		return
+	}
+	cs.procQueue++
+	c.procWakes++
+	c.scheduleWake(cs, now)
+}

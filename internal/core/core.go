@@ -1,0 +1,335 @@
+// Package core assembles the full simulator: it feeds a memory-access
+// trace through the controller, schedules popularity-based layout
+// rebalances, derives the DMA-TA slack parameter mu from a CP-Limit,
+// and produces the evaluation's reports.
+package core
+
+import (
+	"fmt"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/controller"
+	"dmamem/internal/dma"
+	"dmamem/internal/energy"
+	"dmamem/internal/layout"
+	"dmamem/internal/memsys"
+	"dmamem/internal/metrics"
+	"dmamem/internal/policy"
+	"dmamem/internal/sim"
+	"dmamem/internal/synth"
+	"dmamem/internal/trace"
+)
+
+// Config selects what to simulate. The zero value plus a trace gives
+// the paper's baseline: 32-chip RDRAM, three PCI-X buses, the dynamic
+// threshold policy, interleaved layout, no DMA-aware techniques.
+type Config struct {
+	// Geometry of the memory system; zero means memsys.Default().
+	Geometry memsys.Geometry
+	// Buses of the I/O subsystem; zero means bus.DefaultConfig().
+	Buses bus.Config
+	// Policy is the low-level power manager; nil means the dynamic
+	// threshold policy (the paper's baseline).
+	Policy policy.Policy
+	// TA enables temporal alignment. If TA.Mu is zero and CPLimit is
+	// set, Mu is derived from the trace calibration.
+	TA *controller.TAConfig
+	// CPLimit is the client-perceived response-time degradation bound
+	// used to derive Mu (e.g. 0.10 for the paper's 10%).
+	CPLimit float64
+	// PL enables popularity-based layout.
+	PL *layout.Config
+	// Mapper overrides the static baseline layout (nil = interleaved).
+	// Ignored when PL is set.
+	Mapper memsys.Mapper
+	// MemSpec selects the memory technology (nil = the paper's RDRAM
+	// part). When set and the geometry is defaulted, the chip bandwidth
+	// follows the spec.
+	MemSpec *energy.Spec
+	// MeterWindow fixes the energy metering window; zero means the
+	// trace duration plus 2 ms of drain. Comparisons between schemes
+	// must use equal windows.
+	MeterWindow sim.Duration
+	// WarmupFraction of the trace feeds the layout manager's counters
+	// before the metered run, modelling a server whose layout reached
+	// popularity steady state long before the measured window (a trace
+	// covers milliseconds of a server that has been running for days,
+	// so the counters have seen the popularity distribution many times
+	// over). The warm-up rebalance is uncharged; in-run rebalances and
+	// their migrations are charged in full. Default 1.0 (two-pass).
+	WarmupFraction float64
+	// Scheme labels the report; empty derives "baseline"/"dma-ta"/
+	// "dma-ta-pl" from TA and PL.
+	Scheme string
+}
+
+// withDefaults returns a fully populated copy.
+func (c Config) withDefaults() Config {
+	if c.Geometry == (memsys.Geometry{}) {
+		c.Geometry = memsys.Default()
+		if c.MemSpec != nil {
+			c.Geometry.ChipBandwidth = c.MemSpec.Bandwidth
+		}
+	}
+	if c.Buses == (bus.Config{}) {
+		c.Buses = bus.DefaultConfig()
+	}
+	if c.Policy == nil {
+		c.Policy = policy.NewDynamic()
+	}
+	if c.WarmupFraction == 0 {
+		c.WarmupFraction = 1.0
+	}
+	if c.Scheme == "" {
+		switch {
+		case c.TA != nil && c.PL != nil:
+			c.Scheme = "dma-ta-pl"
+		case c.TA != nil:
+			c.Scheme = "dma-ta"
+		default:
+			c.Scheme = "baseline"
+		}
+	}
+	return c
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Report *metrics.Report
+	// Calibration used for the CP-Limit transform (zero-valued when
+	// no TA or no CP-Limit was requested).
+	Calibration metrics.Calibration
+	// Mu actually used by DMA-TA.
+	Mu float64
+	// LayoutStats when PL ran.
+	MigratedPages    int64
+	MigrationEnergyJ float64
+	Rebalances       int64
+}
+
+// Calibrate derives the CP-Limit -> mu calibration from a trace: the
+// client response time and critical-path transfer count from the
+// trace's metadata (with documented fallbacks for bare traces) and the
+// mean DMA-memory requests per transfer from the trace itself.
+func Calibrate(tr *trace.Trace, geo memsys.Geometry, buses bus.Config) metrics.Calibration {
+	st := trace.Analyze(tr)
+	cal := metrics.Calibration{
+		MeanClientResponse:      tr.Meta.MeanClientResponse,
+		TransfersPerRequest:     tr.Meta.TransfersPerClientRequest,
+		MeanRequestsPerTransfer: st.MeanTransferPages() * float64(geo.PageBytes) / memsys.RequestBytes,
+		T:                       buses.BeatGap(),
+		// Off-line measured transform factor (Section 5.1): half the
+		// analytic budget absorbs the queueing and wake amplification
+		// between request-level slack and client-perceived time.
+		SafetyFactor: 0.5,
+	}
+	if cal.MeanClientResponse <= 0 {
+		// Bare trace: assume a typical data-server client response of
+		// 500 us (SAN round trip plus service).
+		cal.MeanClientResponse = 500 * sim.Microsecond
+	}
+	if cal.TransfersPerRequest <= 0 {
+		cal.TransfersPerRequest = 1
+	}
+	if cal.MeanRequestsPerTransfer <= 0 {
+		cal.MeanRequestsPerTransfer = float64(geo.PageBytes) / memsys.RequestBytes
+	}
+	return cal
+}
+
+// Run simulates one configuration over a trace.
+func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	if len(tr.Records) == 0 {
+		return nil, fmt.Errorf("core: empty trace %q", tr.Name)
+	}
+	maxPage := memsys.PageID(cfg.Geometry.TotalPages())
+	for i, r := range tr.Records {
+		end := r.Page
+		if r.Kind.IsDMA() {
+			end += memsys.PageID(r.Pages)
+		} else {
+			end++
+		}
+		if r.Page < 0 || end > maxPage {
+			return nil, fmt.Errorf("core: record %d touches pages [%d,%d) outside memory of %d pages",
+				i, r.Page, end, maxPage)
+		}
+	}
+
+	res := &Result{}
+	ccfg := controller.Config{
+		Geometry:     cfg.Geometry,
+		Buses:        cfg.Buses,
+		Policy:       cfg.Policy,
+		TA:           cfg.TA,
+		Mapper:       cfg.Mapper,
+		MemSpec:      cfg.MemSpec,
+		InitialState: 0, // Active; the policy idles chips down immediately
+	}
+
+	if cfg.TA != nil && cfg.TA.Mu == 0 && cfg.CPLimit > 0 {
+		cal := Calibrate(tr, cfg.Geometry, cfg.Buses)
+		mu, err := cal.Mu(cfg.CPLimit)
+		if err != nil {
+			return nil, err
+		}
+		ta := *cfg.TA // do not mutate the caller's config
+		ta.Mu = mu
+		ccfg.TA = &ta
+		res.Calibration = cal
+		res.Mu = mu
+	} else if cfg.TA != nil {
+		res.Mu = cfg.TA.Mu
+	}
+
+	var lm *layout.Manager
+	if cfg.PL != nil {
+		var err error
+		lm, err = layout.New(cfg.Geometry, *cfg.PL)
+		if err != nil {
+			return nil, err
+		}
+		warmup(lm, tr, cfg.WarmupFraction)
+		ccfg.Layout = lm
+	}
+
+	eng := sim.New()
+	ctl, err := controller.New(eng, ccfg)
+	if err != nil {
+		return nil, err
+	}
+
+	feed(eng, ctl, tr)
+	traceEnd := sim.Time(tr.Duration())
+	if lm != nil {
+		scheduleRebalances(eng, ctl, lm, traceEnd)
+	}
+	eng.Run()
+
+	window := cfg.MeterWindow
+	if window == 0 {
+		window = tr.Duration() + 2*sim.Millisecond
+	}
+	end := ctl.Finish(sim.Time(window))
+	res.Report = ctl.Report(cfg.Scheme, end)
+	if lm != nil {
+		res.MigratedPages = lm.MigratedPages
+		res.MigrationEnergyJ = lm.MigrationEnergyJ
+		res.Rebalances = lm.Rebalances
+	}
+	return res, nil
+}
+
+// warmup feeds the first fraction of the trace's DMA references into
+// the layout manager and installs the resulting layout without
+// charging its cost: the measured window starts from popularity steady
+// state.
+func warmup(lm *layout.Manager, tr *trace.Trace, fraction float64) {
+	n := int(fraction * float64(len(tr.Records)))
+	for _, r := range tr.Records[:n] {
+		if !r.Kind.IsDMA() {
+			continue
+		}
+		for p := 0; p < int(r.Pages); p++ {
+			lm.Observe(r.Page + memsys.PageID(p))
+		}
+	}
+	lm.Rebalance(nil)
+	lm.ResetCosts()
+}
+
+// feed schedules trace records into the engine one at a time (a
+// self-advancing feeder keeps the event heap small for multi-million
+// record traces).
+func feed(eng *sim.Engine, ctl *controller.Controller, tr *trace.Trace) {
+	var idx int
+	var nextID int64
+	var step func(e *sim.Engine)
+	step = func(e *sim.Engine) {
+		for idx < len(tr.Records) && tr.Records[idx].Time == e.Now() {
+			r := tr.Records[idx]
+			idx++
+			if r.Kind.IsDMA() {
+				ctl.StartTransfer(dma.FromRecord(nextID, r))
+				nextID++
+			} else {
+				ctl.ProcAccess(r.Page)
+			}
+		}
+		if idx < len(tr.Records) {
+			eng.SchedulePrio(tr.Records[idx].Time, 1, step)
+		}
+	}
+	eng.SchedulePrio(tr.Records[0].Time, 1, step)
+}
+
+// scheduleRebalances arms the PL interval timer up to the end of the
+// trace.
+func scheduleRebalances(eng *sim.Engine, ctl *controller.Controller, lm *layout.Manager, end sim.Time) {
+	interval := lm.Interval()
+	var tick func(e *sim.Engine)
+	tick = func(e *sim.Engine) {
+		busy := ctl.ActivePages()
+		lm.Rebalance(func(p memsys.PageID) bool { return busy[p] })
+		next := e.Now().Add(interval)
+		if next <= end {
+			eng.SchedulePrio(next, 5, tick)
+		}
+	}
+	first := sim.Time(interval)
+	if first <= end {
+		eng.SchedulePrio(first, 5, tick)
+	}
+}
+
+// RunBaselinePair runs the same trace under a baseline config and a
+// technique config with a shared metering window, returning both
+// results plus the fractional savings.
+func RunBaselinePair(base, tech Config, tr *trace.Trace) (b, t *Result, savings float64, err error) {
+	window := tr.Duration() + 2*sim.Millisecond
+	base.MeterWindow = window
+	tech.MeterWindow = window
+	if b, err = Run(base, tr); err != nil {
+		return nil, nil, 0, err
+	}
+	if t, err = Run(tech, tr); err != nil {
+		return nil, nil, 0, err
+	}
+	return b, t, t.Report.Savings(b.Report), nil
+}
+
+// Workload is a named trace bundle used by the experiments.
+type Workload struct {
+	Name  string
+	Trace *trace.Trace
+}
+
+// SyntheticStWorkload builds the Synthetic-St trace with the paper's
+// defaults over the given duration.
+func SyntheticStWorkload(d sim.Duration, seed uint64) (*Workload, error) {
+	cfg := synth.DefaultSt()
+	cfg.Duration = d
+	cfg.Seed = seed
+	tr, err := synth.GenerateSt(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: "Synthetic-St", Trace: tr}, nil
+}
+
+// SyntheticDbWorkload builds the Synthetic-Db trace with the paper's
+// defaults over the given duration.
+func SyntheticDbWorkload(d sim.Duration, seed uint64) (*Workload, error) {
+	cfg := synth.DefaultDb()
+	cfg.St.Duration = d
+	cfg.St.Seed = seed
+	tr, err := synth.GenerateDb(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{Name: "Synthetic-Db", Trace: tr}, nil
+}

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/controller"
+	"dmamem/internal/energy"
+	"dmamem/internal/layout"
+	"dmamem/internal/memsys"
+	"dmamem/internal/policy"
+	"dmamem/internal/sim"
+	"dmamem/internal/synth"
+	"dmamem/internal/trace"
+)
+
+// stTrace returns a short Synthetic-St trace shared by tests.
+func stTrace(t *testing.T, d sim.Duration) *trace.Trace {
+	t.Helper()
+	w, err := SyntheticStWorkload(d, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Trace
+}
+
+func TestRunBaseline(t *testing.T) {
+	tr := stTrace(t, 10*sim.Millisecond)
+	res, err := Run(Config{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Report
+	if r.Scheme != "baseline" {
+		t.Fatalf("scheme = %q", r.Scheme)
+	}
+	if r.Transfers == 0 {
+		t.Fatal("no transfers simulated")
+	}
+	if r.TotalEnergy() <= 0 {
+		t.Fatal("no energy")
+	}
+	// A lone-stream-dominated baseline sits near uf = 1/3 (some
+	// arrivals overlap naturally, so a bit above).
+	if r.UtilizationFactor < 0.30 || r.UtilizationFactor > 0.55 {
+		t.Fatalf("baseline uf = %g, want ~1/3", r.UtilizationFactor)
+	}
+	// Figure 2(b) shape: active-idle-DMA exceeds serving energy.
+	if r.Energy[energy.CatIdleDMA] <= r.Energy[energy.CatServing] {
+		t.Fatalf("idle (%g) should exceed serving (%g)",
+			r.Energy[energy.CatIdleDMA], r.Energy[energy.CatServing])
+	}
+}
+
+func TestRunRejectsBadTraces(t *testing.T) {
+	if _, err := Run(Config{}, &trace.Trace{Name: "empty"}); err == nil {
+		t.Error("empty trace accepted")
+	}
+	bad := &trace.Trace{Records: []trace.Record{
+		{Time: 0, Kind: trace.DMARead, Pages: 4, Page: memsys.PageID(memsys.Default().TotalPages() - 1)},
+	}}
+	if _, err := Run(Config{}, bad); err == nil {
+		t.Error("out-of-range page accepted")
+	}
+	unordered := &trace.Trace{Records: []trace.Record{
+		{Time: 10, Kind: trace.DMARead, Pages: 1},
+		{Time: 5, Kind: trace.DMARead, Pages: 1},
+	}}
+	if _, err := Run(Config{}, unordered); err == nil {
+		t.Error("unordered trace accepted")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	tr := stTrace(t, 5*sim.Millisecond)
+	cfg := Config{TA: controller.DefaultTA(0), CPLimit: 0.1}
+	a, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Report.TotalEnergy() != b.Report.TotalEnergy() {
+		t.Fatal("nondeterministic energy")
+	}
+	if a.Mu != b.Mu {
+		t.Fatal("nondeterministic mu")
+	}
+}
+
+func TestCPLimitDerivesMu(t *testing.T) {
+	tr := stTrace(t, 5*sim.Millisecond)
+	cfg := Config{TA: controller.DefaultTA(0), CPLimit: 0.10}
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mu <= 0 {
+		t.Fatalf("mu = %g, want positive", res.Mu)
+	}
+	// Doubling the limit doubles mu.
+	cfg.CPLimit = 0.20
+	res2, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res2.Mu-2*res.Mu) > 1e-9*res2.Mu {
+		t.Fatalf("mu not linear in CP-Limit: %g vs %g", res.Mu, res2.Mu)
+	}
+}
+
+func TestExplicitMuNotOverridden(t *testing.T) {
+	tr := stTrace(t, 2*sim.Millisecond)
+	cfg := Config{TA: controller.DefaultTA(7), CPLimit: 0.10}
+	res, err := Run(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mu != 7 {
+		t.Fatalf("explicit mu overridden: %g", res.Mu)
+	}
+}
+
+func TestTASavesEnergyOnSyntheticSt(t *testing.T) {
+	tr := stTrace(t, 20*sim.Millisecond)
+	base, ta, savings, err := RunBaselinePair(
+		Config{},
+		Config{TA: controller.DefaultTA(0), CPLimit: 0.10},
+		tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if savings <= 0 {
+		t.Fatalf("DMA-TA saved %.2f%% (base %v, ta %v)",
+			100*savings, base.Report.TotalEnergy(), ta.Report.TotalEnergy())
+	}
+	if ta.Report.UtilizationFactor <= base.Report.UtilizationFactor {
+		t.Fatalf("uf did not improve: %g vs %g",
+			ta.Report.UtilizationFactor, base.Report.UtilizationFactor)
+	}
+}
+
+func TestTAPLSavesMoreThanTA(t *testing.T) {
+	tr := stTrace(t, 20*sim.Millisecond)
+	pl := layout.DefaultConfig()
+	pl.Interval = 5 * sim.Millisecond // several rebalances within the short test trace
+	_, ta, sTA, err := RunBaselinePair(
+		Config{},
+		Config{TA: controller.DefaultTA(0), CPLimit: 0.10},
+		tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, tapl, sTAPL, err := RunBaselinePair(
+		Config{},
+		Config{TA: controller.DefaultTA(0), CPLimit: 0.10, PL: &pl},
+		tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sTAPL <= sTA {
+		t.Fatalf("DMA-TA-PL (%.2f%%) did not beat DMA-TA (%.2f%%)", 100*sTAPL, 100*sTA)
+	}
+	if tapl.Report.UtilizationFactor <= ta.Report.UtilizationFactor {
+		t.Fatalf("PL did not raise uf: %g vs %g",
+			tapl.Report.UtilizationFactor, ta.Report.UtilizationFactor)
+	}
+	if tapl.Rebalances == 0 {
+		t.Fatal("PL never rebalanced")
+	}
+}
+
+func TestCPLimitRespected(t *testing.T) {
+	// The client-perceived degradation of DMA-TA must stay within the
+	// requested CP-Limit, measured against the no-power-management
+	// reference.
+	tr := stTrace(t, 20*sim.Millisecond)
+	window := tr.Duration() + 2*sim.Millisecond
+	ref, err := Run(Config{Policy: policy.AlwaysActive{}, Scheme: "no-pm", MeterWindow: window}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 0.10
+	res, err := Run(Config{TA: controller.DefaultTA(0), CPLimit: limit, MeterWindow: window}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Report.ClientDegradation(ref.Report, res.Calibration)
+	if got > limit {
+		t.Fatalf("client degradation %.3f exceeds CP-Limit %.2f", got, limit)
+	}
+}
+
+func TestSchemeLabels(t *testing.T) {
+	pl := layout.DefaultConfig()
+	cases := []struct {
+		cfg  Config
+		want string
+	}{
+		{Config{}, "baseline"},
+		{Config{TA: controller.DefaultTA(1)}, "dma-ta"},
+		{Config{TA: controller.DefaultTA(1), PL: &pl}, "dma-ta-pl"},
+		{Config{Scheme: "custom"}, "custom"},
+	}
+	tr := stTrace(t, 1*sim.Millisecond)
+	for _, c := range cases {
+		res, err := Run(c.cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Report.Scheme != c.want {
+			t.Fatalf("scheme = %q, want %q", res.Report.Scheme, c.want)
+		}
+	}
+}
+
+func TestDbWorkloadRuns(t *testing.T) {
+	w, err := SyntheticDbWorkload(3*sim.Millisecond, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{}, w.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Energy[energy.CatProcServing] <= 0 {
+		t.Fatal("processor serving energy missing")
+	}
+}
+
+func TestProcAccessesReduceSavings(t *testing.T) {
+	// Figure 9's effect: more processor accesses per transfer ->
+	// smaller TA savings, because the CPU consumes the idle cycles TA
+	// would reclaim.
+	gen := func(perXfer int) *trace.Trace {
+		cfg := synth.DefaultDb()
+		cfg.St.Duration = 15 * sim.Millisecond
+		cfg.ProcPerTransfer = perXfer
+		cfg.ProcRatePerMs = 0
+		tr, err := synth.GenerateDb(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	pl := layout.DefaultConfig()
+	savingsFor := func(tr *trace.Trace) float64 {
+		_, _, s, err := RunBaselinePair(Config{},
+			Config{TA: controller.DefaultTA(0), CPLimit: 0.10, PL: &pl}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	low := savingsFor(gen(1))
+	high := savingsFor(gen(400))
+	if high >= low {
+		t.Fatalf("savings with heavy proc traffic (%.2f%%) not below light (%.2f%%)",
+			100*high, 100*low)
+	}
+}
+
+func TestCalibrateFallbacks(t *testing.T) {
+	bare := &trace.Trace{Records: []trace.Record{{Time: 0, Kind: trace.DMARead, Pages: 1}}}
+	cal := Calibrate(bare, memsys.Default(), bus.DefaultConfig())
+	if err := cal.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cal.MeanClientResponse != 500*sim.Microsecond {
+		t.Fatalf("fallback response = %v", cal.MeanClientResponse)
+	}
+	if cal.TransfersPerRequest != 1 {
+		t.Fatalf("fallback transfers = %g", cal.TransfersPerRequest)
+	}
+}

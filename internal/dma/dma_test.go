@@ -1,0 +1,203 @@
+package dma
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmamem/internal/memsys"
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+func TestFromRecord(t *testing.T) {
+	r := trace.Record{Time: 100, Kind: trace.DMAWrite, Source: trace.SrcDisk,
+		Bus: 2, Pages: 4, Page: 77}
+	x := FromRecord(9, r)
+	if x.ID != 9 || x.Arrival != 100 || x.Bus != 2 || x.Pages != 4 || x.Page != 77 {
+		t.Fatalf("FromRecord: %+v", x)
+	}
+	if x.Bytes(8192) != 4*8192 {
+		t.Fatalf("Bytes = %d", x.Bytes(8192))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-DMA record accepted")
+		}
+	}()
+	FromRecord(1, trace.Record{Kind: trace.ProcRead})
+}
+
+func TestSegmentsInterleaved(t *testing.T) {
+	// Interleaved mapping puts consecutive pages on different chips:
+	// every page is its own segment.
+	tr := Transfer{ID: 1, Page: 10, Pages: 4}
+	segs := tr.Segments(memsys.InterleavedMapper{Chips: 32})
+	if len(segs) != 4 {
+		t.Fatalf("got %d segments", len(segs))
+	}
+	for i, s := range segs {
+		if s.Pages != 1 || s.Page != memsys.PageID(10+i) || s.Chip != (10+i)%32 {
+			t.Fatalf("segment %d: %+v", i, s)
+		}
+	}
+}
+
+func TestSegmentsSequential(t *testing.T) {
+	// Sequential mapping keeps a within-chip run together.
+	tr := Transfer{ID: 1, Page: 0, Pages: 6}
+	segs := tr.Segments(memsys.SequentialMapper{PagesPerChip: 4})
+	if len(segs) != 2 {
+		t.Fatalf("got %d segments: %+v", len(segs), segs)
+	}
+	if segs[0] != (Segment{Chip: 0, Page: 0, Pages: 4}) {
+		t.Fatalf("first segment: %+v", segs[0])
+	}
+	if segs[1] != (Segment{Chip: 1, Page: 4, Pages: 2}) {
+		t.Fatalf("second segment: %+v", segs[1])
+	}
+}
+
+func TestSegmentsSingle(t *testing.T) {
+	tr := Transfer{ID: 1, Page: 3, Pages: 1}
+	segs := tr.Segments(memsys.InterleavedMapper{Chips: 8})
+	if len(segs) != 1 || segs[0].Chip != 3 {
+		t.Fatalf("%+v", segs)
+	}
+}
+
+// Property: segments partition the transfer exactly and each segment is
+// chip-homogeneous.
+func TestQuickSegmentsPartition(t *testing.T) {
+	f := func(page16 uint16, pages8, chips8 uint8) bool {
+		chips := 1 + int(chips8)%32
+		tr := Transfer{Page: memsys.PageID(page16), Pages: 1 + int(pages8)%20}
+		m := memsys.InterleavedMapper{Chips: chips}
+		segs := tr.Segments(m)
+		next := tr.Page
+		total := 0
+		for _, s := range segs {
+			if s.Page != next || s.Pages <= 0 {
+				return false
+			}
+			for i := 0; i < s.Pages; i++ {
+				if m.ChipOf(s.Page+memsys.PageID(i)) != s.Chip {
+					return false
+				}
+			}
+			next += memsys.PageID(s.Pages)
+			total += s.Pages
+		}
+		return total == tr.Pages
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+const (
+	beat  = 7500 * sim.Picosecond // PCI-X beat (12 memory cycles)
+	serve = 2500 * sim.Picosecond // request service (4 memory cycles)
+)
+
+func TestExactScheduleFig2a(t *testing.T) {
+	// One stream: the chip is busy 4 of every 12 cycles -> uf = 1/3
+	// (Figure 2a: "two-thirds of the active memory energy are wasted").
+	sched := ExactSchedule(0, 1, 64, beat, serve)
+	uf := UtilizationOf(sched)
+	// The last request has no trailing idle gap, so uf is slightly
+	// above 1/3 for finite streams.
+	want := float64(64*serve) / float64(63*beat+serve)
+	if math.Abs(uf-want) > 1e-9 {
+		t.Fatalf("uf = %g, want %g", uf, want)
+	}
+	if uf < 0.33 || uf > 0.35 {
+		t.Fatalf("uf = %g, want ~1/3", uf)
+	}
+	// Gaps between consecutive requests are exactly 8 cycles idle.
+	first := sched[0][0]
+	second := sched[0][1]
+	if second.Arrive.Sub(first.Done) != beat-serve {
+		t.Fatalf("idle gap = %v, want %v", second.Arrive.Sub(first.Done), beat-serve)
+	}
+}
+
+func TestExactScheduleFig3Lockstep(t *testing.T) {
+	// Three streams from three buses exactly saturate the chip: no
+	// idle cycles, uf = 1.
+	sched := ExactSchedule(0, 3, 64, beat, serve)
+	if uf := UtilizationOf(sched); math.Abs(uf-1.0) > 1e-9 {
+		t.Fatalf("uf = %g, want 1.0", uf)
+	}
+	// Lockstep: within each beat the three requests serve back to back.
+	for r := 0; r < 64; r++ {
+		for s := 0; s < 3; s++ {
+			ev := sched[s][r]
+			wantStart := sim.Time(sim.Duration(r)*beat + sim.Duration(s)*serve)
+			if ev.Start != wantStart {
+				t.Fatalf("stream %d req %d starts at %v, want %v", s, r, ev.Start, wantStart)
+			}
+		}
+	}
+}
+
+func TestExactScheduleTwoStreams(t *testing.T) {
+	// Two streams fill 8 of 12 cycles: uf -> 2/3.
+	sched := ExactSchedule(0, 2, 128, beat, serve)
+	uf := UtilizationOf(sched)
+	if uf < 0.66 || uf > 0.68 {
+		t.Fatalf("uf = %g, want ~2/3", uf)
+	}
+}
+
+func TestExactScheduleOverload(t *testing.T) {
+	// Five streams exceed chip rate: requests queue, chip 100% busy,
+	// and completions slip past their beats.
+	sched := ExactSchedule(0, 5, 16, beat, serve)
+	if uf := UtilizationOf(sched); math.Abs(uf-1.0) > 1e-9 {
+		t.Fatalf("uf = %g, want 1.0", uf)
+	}
+	last := sched[4][15]
+	if last.Start == last.Arrive {
+		t.Fatal("overloaded chip should delay requests")
+	}
+}
+
+func TestExactSchedulePanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { ExactSchedule(0, 0, 1, beat, serve) },
+		func() { ExactSchedule(0, 1, 0, beat, serve) },
+		func() { ExactSchedule(0, 1, 1, 0, serve) },
+		func() { ExactSchedule(0, 1, 1, beat, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestUtilizationOfEmpty(t *testing.T) {
+	if UtilizationOf(nil) != 0 {
+		t.Fatal("empty schedule should have uf 0")
+	}
+}
+
+// Property: k streams (k <= 3) produce uf ~= k/3 for long streams — the
+// fluid model's utilization formula matches the exact schedule.
+func TestQuickFluidAgreement(t *testing.T) {
+	f := func(k8 uint8) bool {
+		k := 1 + int(k8)%3
+		sched := ExactSchedule(0, k, 512, beat, serve)
+		uf := UtilizationOf(sched)
+		fluid := float64(k) * float64(serve) / float64(beat)
+		return math.Abs(uf-fluid) < 0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

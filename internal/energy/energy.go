@@ -1,0 +1,262 @@
+// Package energy models the power states of an RDRAM memory device and
+// accounts energy per consumption category.
+//
+// The power model follows Table 1 of the paper (identical to the
+// numbers used by Lebeck et al., obtained from the RDRAM
+// specification): four operating states — active, standby, nap,
+// powerdown — plus the power drawn and the time taken while
+// transitioning between them.
+package energy
+
+import (
+	"fmt"
+
+	"dmamem/internal/sim"
+)
+
+// State is an RDRAM power state.
+type State uint8
+
+const (
+	Active State = iota
+	Standby
+	Nap
+	Powerdown
+	numStates
+)
+
+var stateNames = [numStates]string{"active", "standby", "nap", "powerdown"}
+
+func (s State) String() string {
+	if s < numStates {
+		return stateNames[s]
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Watts of power drawn while resident in each state (Table 1).
+const (
+	ActivePower    = 0.300 // 300 mW
+	StandbyPower   = 0.180 // 180 mW
+	NapPower       = 0.030 // 30 mW
+	PowerdownPower = 0.003 // 3 mW
+)
+
+// StatePower returns the resident power of a state in watts.
+func StatePower(s State) float64 {
+	switch s {
+	case Active:
+		return ActivePower
+	case Standby:
+		return StandbyPower
+	case Nap:
+		return NapPower
+	case Powerdown:
+		return PowerdownPower
+	}
+	panic("energy: unknown state " + s.String())
+}
+
+// Transition describes one row of Table 1's transition section: the
+// power drawn while transitioning and the time the transition takes.
+type Transition struct {
+	Power float64      // watts while transitioning
+	Time  sim.Duration // transition latency
+}
+
+// MemoryCycle is one cycle of the 1600 MHz RDRAM part: 625 ps.
+const MemoryCycle = 625 * sim.Picosecond
+
+// Downward transitions from Active (Table 1). Times are in memory
+// cycles.
+var (
+	ActiveToStandby   = Transition{Power: 0.240, Time: 1 * MemoryCycle}
+	ActiveToNap       = Transition{Power: 0.160, Time: 8 * MemoryCycle}
+	ActiveToPowerdown = Transition{Power: 0.015, Time: 8 * MemoryCycle}
+)
+
+// Upward transitions back to Active (Table 1). Times are the "+ns"
+// resynchronization delays.
+var (
+	StandbyToActive   = Transition{Power: 0.240, Time: 6 * sim.Nanosecond}
+	NapToActive       = Transition{Power: 0.160, Time: 60 * sim.Nanosecond}
+	PowerdownToActive = Transition{Power: 0.015, Time: 6000 * sim.Nanosecond}
+)
+
+// DownTransition returns the transition used to enter low-power state s
+// from Active. Direct hops between low-power states are modelled, as in
+// the original policy work, as entering the lower state from the
+// current one with the Active->s cost (the dominant term is the
+// resynchronization on the way back up, which Table 1 captures).
+func DownTransition(s State) Transition {
+	switch s {
+	case Standby:
+		return ActiveToStandby
+	case Nap:
+		return ActiveToNap
+	case Powerdown:
+		return ActiveToPowerdown
+	}
+	panic("energy: no down transition to " + s.String())
+}
+
+// UpTransition returns the transition from low-power state s back to
+// Active.
+func UpTransition(s State) Transition {
+	switch s {
+	case Standby:
+		return StandbyToActive
+	case Nap:
+		return NapToActive
+	case Powerdown:
+		return PowerdownToActive
+	}
+	panic("energy: no up transition from " + s.String())
+}
+
+// WakeLatency is the delay before a chip in state s can service a
+// request.
+func WakeLatency(s State) sim.Duration {
+	if s == Active {
+		return 0
+	}
+	return UpTransition(s).Time
+}
+
+// Category classifies where a joule went. The categories are exactly
+// those of the paper's Figure 2(b)/Figure 6 breakdowns, plus the
+// migration energy introduced by popularity-based layout and an
+// explicit bucket for processor-access service.
+type Category uint8
+
+const (
+	// CatServing: active mode, actually transferring DMA data.
+	CatServing Category = iota
+	// CatIdleDMA: active mode, idle between two DMA-memory requests of
+	// in-progress transfers (the bandwidth-mismatch waste).
+	CatIdleDMA
+	// CatIdleThreshold: active mode, idle waiting for the policy's
+	// idleness threshold to expire before powering down.
+	CatIdleThreshold
+	// CatTransition: transitioning between power modes.
+	CatTransition
+	// CatLowPower: resident in standby/nap/powerdown.
+	CatLowPower
+	// CatMigration: moving pages for popularity-based layout.
+	CatMigration
+	// CatProcServing: active mode, servicing processor cache-line
+	// accesses.
+	CatProcServing
+	NumCategories
+)
+
+var categoryNames = [NumCategories]string{
+	"active-serving", "active-idle-dma", "active-idle-threshold",
+	"transition", "low-power", "migration", "proc-serving",
+}
+
+func (c Category) String() string {
+	if c < NumCategories {
+		return categoryNames[c]
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+// Breakdown is energy per category, in joules.
+type Breakdown [NumCategories]float64
+
+// Total returns the sum over all categories.
+func (b *Breakdown) Total() float64 {
+	var t float64
+	for _, v := range b {
+		t += v
+	}
+	return t
+}
+
+// Add accumulates another breakdown into b.
+func (b *Breakdown) Add(o *Breakdown) {
+	for i := range b {
+		b[i] += o[i]
+	}
+}
+
+// Fraction returns category c as a fraction of the total, or 0 when the
+// total is zero.
+func (b *Breakdown) Fraction(c Category) float64 {
+	t := b.Total()
+	if t == 0 {
+		return 0
+	}
+	return b[c] / t
+}
+
+func (b *Breakdown) String() string {
+	s := ""
+	for c := Category(0); c < NumCategories; c++ {
+		if c > 0 {
+			s += " "
+		}
+		s += fmt.Sprintf("%s=%.2f%%", c, 100*b.Fraction(c))
+	}
+	return s
+}
+
+// Meter integrates energy for one device. Callers report spans of time
+// spent at a given power with a category; the meter only adds, so it
+// can be shared by the chip state machine and the migration engine.
+type Meter struct {
+	b Breakdown
+}
+
+// Accumulate adds power*duration joules to category c. Negative
+// durations panic: they are always an accounting bug.
+func (m *Meter) Accumulate(c Category, power float64, d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("energy: negative duration %v for %v", d, c))
+	}
+	m.b[c] += power * d.Seconds()
+}
+
+// AddJoules adds a precomputed energy amount to category c.
+func (m *Meter) AddJoules(c Category, joules float64) {
+	if joules < 0 {
+		panic(fmt.Sprintf("energy: negative energy %g for %v", joules, c))
+	}
+	m.b[c] += joules
+}
+
+// Breakdown returns a copy of the accumulated energy.
+func (m *Meter) Breakdown() Breakdown { return m.b }
+
+// Total returns total joules so far.
+func (m *Meter) Total() float64 { return m.b.Total() }
+
+// Reset clears the meter.
+func (m *Meter) Reset() { m.b = Breakdown{} }
+
+// BreakEven returns the minimum idle period for which sending a device
+// from Active into low-power state s saves energy, accounting for the
+// down transition, residence, and the wake transition. Idle periods
+// shorter than this are cheaper spent idling in Active. This is the
+// quantity classic dynamic policies use to pick thresholds.
+func BreakEven(s State) sim.Duration {
+	if s == Active {
+		return 0
+	}
+	down, up := DownTransition(s), UpTransition(s)
+	// Solve ActivePower*t = down.E + Pow(s)*(t - down.T - up.T) + up.E
+	// for the idle gap t (the device must be back in Active by the end
+	// of the gap).
+	overheadJ := down.Power*down.Time.Seconds() + up.Power*up.Time.Seconds()
+	residPower := StatePower(s)
+	num := overheadJ - residPower*(down.Time.Seconds()+up.Time.Seconds())
+	den := ActivePower - residPower
+	t := num / den
+	transit := down.Time + up.Time
+	be := sim.FromSeconds(t)
+	if be < transit {
+		be = transit
+	}
+	return be
+}

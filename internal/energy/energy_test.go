@@ -1,0 +1,229 @@
+package energy
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmamem/internal/sim"
+)
+
+// TestTable1Constants pins the model to the exact numbers of the
+// paper's Table 1.
+func TestTable1Constants(t *testing.T) {
+	cases := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"active power", StatePower(Active), 0.300},
+		{"standby power", StatePower(Standby), 0.180},
+		{"nap power", StatePower(Nap), 0.030},
+		{"powerdown power", StatePower(Powerdown), 0.003},
+		{"active->standby power", ActiveToStandby.Power, 0.240},
+		{"active->nap power", ActiveToNap.Power, 0.160},
+		{"active->powerdown power", ActiveToPowerdown.Power, 0.015},
+		{"standby->active power", StandbyToActive.Power, 0.240},
+		{"nap->active power", NapToActive.Power, 0.160},
+		{"powerdown->active power", PowerdownToActive.Power, 0.015},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	timeCases := []struct {
+		name string
+		got  sim.Duration
+		want sim.Duration
+	}{
+		{"active->standby time", ActiveToStandby.Time, 1 * MemoryCycle},
+		{"active->nap time", ActiveToNap.Time, 8 * MemoryCycle},
+		{"active->powerdown time", ActiveToPowerdown.Time, 8 * MemoryCycle},
+		{"standby->active time", StandbyToActive.Time, 6 * sim.Nanosecond},
+		{"nap->active time", NapToActive.Time, 60 * sim.Nanosecond},
+		{"powerdown->active time", PowerdownToActive.Time, 6000 * sim.Nanosecond},
+	}
+	for _, c := range timeCases {
+		if c.got != c.want {
+			t.Errorf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+	if MemoryCycle != 625*sim.Picosecond {
+		t.Errorf("MemoryCycle = %v, want 625ps (1600 MHz)", MemoryCycle)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{Active: "active", Standby: "standby", Nap: "nap", Powerdown: "powerdown"}
+	for s, w := range want {
+		if s.String() != w {
+			t.Errorf("%d.String() = %q, want %q", s, s.String(), w)
+		}
+	}
+	if State(99).String() != "State(99)" {
+		t.Errorf("unknown state string: %q", State(99).String())
+	}
+}
+
+func TestPowerOrdering(t *testing.T) {
+	// Deeper states must draw strictly less power.
+	if !(StatePower(Active) > StatePower(Standby) &&
+		StatePower(Standby) > StatePower(Nap) &&
+		StatePower(Nap) > StatePower(Powerdown)) {
+		t.Fatal("power ordering violated")
+	}
+	// Deeper states must take strictly longer to wake.
+	if !(WakeLatency(Standby) < WakeLatency(Nap) &&
+		WakeLatency(Nap) < WakeLatency(Powerdown)) {
+		t.Fatal("wake latency ordering violated")
+	}
+	if WakeLatency(Active) != 0 {
+		t.Fatal("active should have zero wake latency")
+	}
+}
+
+func TestTransitionPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { DownTransition(Active) },
+		func() { UpTransition(Active) },
+		func() { StatePower(State(42)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMeterAccumulate(t *testing.T) {
+	var m Meter
+	m.Accumulate(CatServing, 0.3, sim.Second) // 0.3 J
+	m.Accumulate(CatIdleDMA, 0.3, 2*sim.Second)
+	m.Accumulate(CatLowPower, 0.003, sim.Second)
+	b := m.Breakdown()
+	if math.Abs(b[CatServing]-0.3) > 1e-12 {
+		t.Errorf("serving = %g", b[CatServing])
+	}
+	if math.Abs(b[CatIdleDMA]-0.6) > 1e-12 {
+		t.Errorf("idle = %g", b[CatIdleDMA])
+	}
+	if math.Abs(m.Total()-0.903) > 1e-12 {
+		t.Errorf("total = %g", m.Total())
+	}
+	if f := b.Fraction(CatServing); math.Abs(f-0.3/0.903) > 1e-12 {
+		t.Errorf("fraction = %g", f)
+	}
+	m.Reset()
+	if m.Total() != 0 {
+		t.Error("reset did not clear meter")
+	}
+}
+
+func TestMeterAddJoules(t *testing.T) {
+	var m Meter
+	m.AddJoules(CatMigration, 1.5)
+	if m.Breakdown()[CatMigration] != 1.5 {
+		t.Fatal("AddJoules lost energy")
+	}
+}
+
+func TestMeterNegativePanics(t *testing.T) {
+	var m Meter
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	m.Accumulate(CatServing, 0.3, -1)
+}
+
+func TestBreakdownAddAndFraction(t *testing.T) {
+	var a, b Breakdown
+	a[CatServing] = 1
+	b[CatServing] = 2
+	b[CatLowPower] = 1
+	a.Add(&b)
+	if a[CatServing] != 3 || a[CatLowPower] != 1 {
+		t.Fatalf("Add: %+v", a)
+	}
+	var empty Breakdown
+	if empty.Fraction(CatServing) != 0 {
+		t.Fatal("empty breakdown fraction should be 0")
+	}
+	if a.String() == "" {
+		t.Fatal("String should be nonempty")
+	}
+}
+
+func TestBreakEvenSanity(t *testing.T) {
+	// Break-even times must grow with state depth and always cover the
+	// round-trip transition latency.
+	beS, beN, beP := BreakEven(Standby), BreakEven(Nap), BreakEven(Powerdown)
+	if !(beS < beN && beN < beP) {
+		t.Fatalf("break-even ordering: standby=%v nap=%v powerdown=%v", beS, beN, beP)
+	}
+	if beS < ActiveToStandby.Time+StandbyToActive.Time {
+		t.Fatalf("standby break-even %v below transit time", beS)
+	}
+	if BreakEven(Active) != 0 {
+		t.Fatal("active break-even should be 0")
+	}
+	// The paper notes the best active->low-power thresholds are around
+	// 20-30 memory cycles; our standby/nap break-evens should be within
+	// the same order of magnitude.
+	if beN > 200*sim.Nanosecond {
+		t.Fatalf("nap break-even implausibly large: %v", beN)
+	}
+}
+
+// Property: sleeping for exactly the break-even gap never costs more
+// than idling in Active, and when the break-even exceeds the transit
+// round trip the two costs are equal (the true crossover); otherwise
+// the break-even is clamped to the transit time.
+func TestQuickBreakEvenIndifference(t *testing.T) {
+	f := func(pick uint8) bool {
+		s := State(1 + pick%3) // standby, nap, powerdown
+		be := BreakEven(s)
+		idleJ := ActivePower * be.Seconds()
+		down, up := DownTransition(s), UpTransition(s)
+		transit := down.Time + up.Time
+		resid := be - transit
+		sleepJ := down.Power*down.Time.Seconds() +
+			StatePower(s)*resid.Seconds() +
+			up.Power*up.Time.Seconds()
+		if sleepJ > idleJ+1e-12 {
+			return false // sleeping at break-even must not lose energy
+		}
+		if be > transit {
+			// Unclamped: exact indifference at the crossover.
+			return math.Abs(idleJ-sleepJ) <= 1e-9*math.Max(idleJ, 1e-12)+1e-12
+		}
+		return be == transit
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: meter total equals the sum of everything accumulated.
+func TestQuickMeterConservation(t *testing.T) {
+	f := func(amounts []uint16) bool {
+		var m Meter
+		var want float64
+		for i, a := range amounts {
+			c := Category(i % int(NumCategories))
+			j := float64(a) / 1000
+			m.AddJoules(c, j)
+			want += j
+		}
+		return math.Abs(m.Total()-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

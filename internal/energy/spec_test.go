@@ -1,0 +1,118 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dmamem/internal/sim"
+)
+
+func TestRDRAMSpecMatchesTable1(t *testing.T) {
+	s := RDRAM1600()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Power(Active) != ActivePower || s.Power(Powerdown) != PowerdownPower {
+		t.Fatal("spec powers diverge from Table 1 constants")
+	}
+	if s.UpFrom(Powerdown) != PowerdownToActive || s.DownTo(Nap) != ActiveToNap {
+		t.Fatal("spec transitions diverge from Table 1 constants")
+	}
+	if s.Bandwidth != 3.2e9 || s.CycleTime != MemoryCycle {
+		t.Fatalf("bandwidth %g cycle %v", s.Bandwidth, s.CycleTime)
+	}
+	// Spec-based break-even agrees with the package function.
+	for _, st := range []State{Standby, Nap, Powerdown} {
+		if s.BreakEvenOf(st) != BreakEven(st) {
+			t.Fatalf("break-even of %v diverges", st)
+		}
+	}
+}
+
+func TestDDRSpecSane(t *testing.T) {
+	s := DDR400()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// DDR is slower and its active power is higher relative to its
+	// bandwidth; its deepest state exits in ~1 us (200 x 5 ns), far
+	// cheaper than RDRAM's 6 us powerdown exit.
+	if s.Bandwidth >= RDRAM1600().Bandwidth {
+		t.Fatal("DDR400 should be slower than RDRAM1600")
+	}
+	if got := s.WakeLatencyOf(Powerdown); got != 1000*sim.Nanosecond {
+		t.Fatalf("self-refresh exit = %v, want 1us", got)
+	}
+	if s.WakeLatencyOf(Active) != 0 {
+		t.Fatal("active wake latency should be 0")
+	}
+	// Break-evens ordered by depth.
+	if !(s.BreakEvenOf(Standby) < s.BreakEvenOf(Nap) &&
+		s.BreakEvenOf(Nap) < s.BreakEvenOf(Powerdown)) {
+		t.Fatal("DDR break-even ordering violated")
+	}
+}
+
+func TestSpecValidateRejectsBadTables(t *testing.T) {
+	bad := RDRAM1600()
+	bad.Name = ""
+	if bad.Validate() == nil {
+		t.Error("nameless spec accepted")
+	}
+	bad = RDRAM1600()
+	bad.Powers[Nap] = bad.Powers[Standby] + 1
+	if bad.Validate() == nil {
+		t.Error("non-monotone powers accepted")
+	}
+	bad = RDRAM1600()
+	bad.Up[Nap].Time = 0
+	if bad.Validate() == nil {
+		t.Error("missing transition accepted")
+	}
+	bad = RDRAM1600()
+	bad.Bandwidth = 0
+	if bad.Validate() == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestSpecPanics(t *testing.T) {
+	s := RDRAM1600()
+	for _, f := range []func(){
+		func() { s.Power(State(9)) },
+		func() { s.DownTo(Active) },
+		func() { s.UpFrom(Active) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for both specs, sleeping at the break-even gap never costs
+// more than idling in Active.
+func TestQuickSpecBreakEven(t *testing.T) {
+	specs := []*Spec{RDRAM1600(), DDR400()}
+	f := func(pickSpec, pickState uint8) bool {
+		s := specs[int(pickSpec)%len(specs)]
+		st := State(1 + pickState%3)
+		be := s.BreakEvenOf(st)
+		idleJ := s.Power(Active) * be.Seconds()
+		down, up := s.DownTo(st), s.UpFrom(st)
+		resid := be - down.Time - up.Time
+		if resid < 0 {
+			return false
+		}
+		sleepJ := down.Power*down.Time.Seconds() +
+			s.Power(st)*resid.Seconds() + up.Power*up.Time.Seconds()
+		return sleepJ <= idleJ+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

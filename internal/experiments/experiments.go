@@ -1,0 +1,537 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (Section 5) on the simulator. Each experiment
+// returns structured data plus a text rendering, so the benchmark
+// harness, the CLI and the tests share one implementation.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/controller"
+	"dmamem/internal/core"
+	"dmamem/internal/energy"
+	"dmamem/internal/layout"
+	"dmamem/internal/server"
+	"dmamem/internal/sim"
+	"dmamem/internal/synth"
+	"dmamem/internal/trace"
+)
+
+// Suite holds the shared configuration of an experiment run.
+type Suite struct {
+	// Duration of generated traces. The paper's shapes are stable from
+	// ~40 ms; the CLI defaults to 100 ms.
+	Duration sim.Duration
+	// DbDuration for the (much denser) database traces; zero means
+	// Duration.
+	DbDuration sim.Duration
+	// Seed for all generators.
+	Seed uint64
+
+	cache map[string]*trace.Trace
+}
+
+// NewSuite returns a suite with the given trace duration.
+func NewSuite(d sim.Duration, seed uint64) *Suite {
+	return &Suite{Duration: d, Seed: seed, cache: map[string]*trace.Trace{}}
+}
+
+func (s *Suite) dbDuration() sim.Duration {
+	if s.DbDuration != 0 {
+		return s.DbDuration
+	}
+	return s.Duration
+}
+
+// Workloads returns the four traces of Table 2, generating and caching
+// them on first use.
+func (s *Suite) Workloads() ([]*trace.Trace, error) {
+	names := []string{"OLTP-St", "Synthetic-St", "OLTP-Db", "Synthetic-Db"}
+	out := make([]*trace.Trace, 0, len(names))
+	for _, n := range names {
+		tr, err := s.workload(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, tr)
+	}
+	return out, nil
+}
+
+func (s *Suite) workload(name string) (*trace.Trace, error) {
+	if tr, ok := s.cache[name]; ok {
+		return tr, nil
+	}
+	var tr *trace.Trace
+	var err error
+	switch name {
+	case "OLTP-St":
+		cfg := server.DefaultStorage()
+		cfg.Duration = s.Duration
+		cfg.Seed = s.Seed + 7
+		var res *server.StorageResult
+		if res, err = server.GenerateStorage(cfg); err == nil {
+			tr = res.Trace
+		}
+	case "Synthetic-St":
+		cfg := synth.DefaultSt()
+		cfg.Duration = s.Duration
+		cfg.Seed = s.Seed + 1
+		tr, err = synth.GenerateSt(cfg)
+	case "OLTP-Db":
+		cfg := server.DefaultDatabase()
+		cfg.Duration = s.dbDuration()
+		cfg.Seed = s.Seed + 11
+		var res *server.DatabaseResult
+		if res, err = server.GenerateDatabase(cfg); err == nil {
+			tr = res.Trace
+		}
+	case "Synthetic-Db":
+		cfg := synth.DefaultDb()
+		cfg.St.Duration = s.dbDuration()
+		cfg.St.Seed = s.Seed + 2
+		tr, err = synth.GenerateDb(cfg)
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.cache[name] = tr
+	return tr, nil
+}
+
+// taConfig returns the technique configuration for a CP-Limit.
+func taConfig(cpLimit float64, pl *layout.Config) core.Config {
+	return core.Config{TA: controller.DefaultTA(0), CPLimit: cpLimit, PL: pl}
+}
+
+func plConfig(groups int) *layout.Config {
+	cfg := layout.DefaultConfig()
+	cfg.Groups = groups
+	return &cfg
+}
+
+// Table1 renders the power model constants (a transcription check of
+// the paper's Table 1).
+func Table1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: RDRAM power model\n")
+	fmt.Fprintf(&b, "%-22s %8s %14s\n", "state/transition", "power", "time")
+	rows := []struct {
+		name  string
+		power float64
+		t     string
+	}{
+		{"active", energy.ActivePower, "-"},
+		{"standby", energy.StandbyPower, "-"},
+		{"nap", energy.NapPower, "-"},
+		{"powerdown", energy.PowerdownPower, "-"},
+		{"active->standby", energy.ActiveToStandby.Power, "1 memory cycle"},
+		{"active->nap", energy.ActiveToNap.Power, "8 memory cycles"},
+		{"active->powerdown", energy.ActiveToPowerdown.Power, "8 memory cycles"},
+		{"standby->active", energy.StandbyToActive.Power, "+6 ns"},
+		{"nap->active", energy.NapToActive.Power, "+60 ns"},
+		{"powerdown->active", energy.PowerdownToActive.Power, "+6000 ns"},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s %6.0fmW %14s\n", r.name, 1e3*r.power, r.t)
+	}
+	return b.String()
+}
+
+// Table2Row summarizes one workload.
+type Table2Row struct {
+	Name            string
+	NetPerMs        float64
+	DiskPerMs       float64
+	ProcPerMs       float64
+	ProcPerTransfer float64
+	DistinctPages   int
+}
+
+// Table2 generates the four traces and summarizes them like the
+// paper's trace inventory.
+func (s *Suite) Table2() ([]Table2Row, error) {
+	ws, err := s.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(ws))
+	for _, tr := range ws {
+		st := trace.Analyze(tr)
+		dur := st.Duration.Seconds() * 1e3
+		rows = append(rows, Table2Row{
+			Name:            tr.Name,
+			NetPerMs:        float64(st.NetTransfers) / dur,
+			DiskPerMs:       float64(st.DiskTransfers) / dur,
+			ProcPerMs:       st.ProcAccessesPerMs(),
+			ProcPerTransfer: st.ProcAccessesPerTransfer(),
+			DistinctPages:   st.DistinctPages,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTable2 renders Table2 rows.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: traces\n%-14s %9s %9s %11s %10s %8s\n",
+		"trace", "net/ms", "disk/ms", "proc/ms", "proc/xfer", "pages")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s %9.1f %9.1f %11.0f %10.0f %8d\n",
+			r.Name, r.NetPerMs, r.DiskPerMs, r.ProcPerMs, r.ProcPerTransfer, r.DistinctPages)
+	}
+	return b.String()
+}
+
+// BreakdownRow is one bar of a Figure 2(b)/Figure 6 style breakdown.
+type BreakdownRow struct {
+	Label    string
+	Fraction map[string]float64 // category name -> share of total
+	TotalJ   float64
+}
+
+func breakdownRow(label string, e energy.Breakdown) BreakdownRow {
+	r := BreakdownRow{Label: label, Fraction: map[string]float64{}, TotalJ: e.Total()}
+	for c := energy.Category(0); c < energy.NumCategories; c++ {
+		r.Fraction[c.String()] = e.Fraction(c)
+	}
+	return r
+}
+
+// FormatBreakdowns renders breakdown bars.
+func FormatBreakdowns(title string, rows []BreakdownRow) string {
+	cats := []string{"active-serving", "active-idle-dma", "active-idle-threshold",
+		"transition", "low-power", "migration", "proc-serving"}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-22s", title, "scheme")
+	for _, c := range cats {
+		fmt.Fprintf(&b, " %9s", shortCat(c))
+	}
+	fmt.Fprintf(&b, " %10s\n", "total")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-22s", r.Label)
+		for _, c := range cats {
+			fmt.Fprintf(&b, " %8.1f%%", 100*r.Fraction[c])
+		}
+		fmt.Fprintf(&b, " %8.2fmJ\n", 1e3*r.TotalJ)
+	}
+	return b.String()
+}
+
+func shortCat(c string) string {
+	switch c {
+	case "active-serving":
+		return "serving"
+	case "active-idle-dma":
+		return "idle-dma"
+	case "active-idle-threshold":
+		return "idle-thr"
+	case "proc-serving":
+		return "proc"
+	}
+	return c
+}
+
+// Fig2b computes the baseline energy breakdown for the two storage
+// workloads (the paper reports 48-51% active-idle-DMA, 26-27% serving,
+// 3-4% threshold idle).
+func (s *Suite) Fig2b() ([]BreakdownRow, error) {
+	rows := []BreakdownRow{}
+	for _, name := range []string{"OLTP-St", "Synthetic-St"} {
+		tr, err := s.workload(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Run(core.Config{}, tr)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, breakdownRow(name, res.Report.Energy))
+	}
+	return rows, nil
+}
+
+// Fig4 returns the page-popularity CDF of the OLTP-St trace (the paper
+// shows ~20% of pages receiving ~60% of DMA accesses).
+func (s *Suite) Fig4(points int) ([]trace.CDFPoint, error) {
+	tr, err := s.workload("OLTP-St")
+	if err != nil {
+		return nil, err
+	}
+	return trace.Analyze(tr).PopularityCDF(points), nil
+}
+
+// FormatFig4 renders the CDF.
+func FormatFig4(pts []trace.CDFPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: page popularity CDF (OLTP-St)\n%10s %10s\n", "pages%", "accesses%")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%9.0f%% %9.1f%%\n", 100*p.PageFrac, 100*p.AccessFrac)
+	}
+	return b.String()
+}
+
+// Fig5Point is one curve sample: savings over baseline at a CP-Limit.
+type Fig5Point struct {
+	Workload string
+	Scheme   string // "dma-ta", "dma-ta-pl-2", "dma-ta-pl-3", "dma-ta-pl-6"
+	CPLimit  float64
+	Savings  float64
+	UF       float64
+}
+
+// Fig5 sweeps CP-Limit for every workload and scheme, like the paper's
+// headline figure. The paper's shape: DMA-TA-PL(2) > DMA-TA; savings
+// rise steeply to ~10% CP-Limit and then flatten; 6 groups lose to 2.
+func (s *Suite) Fig5(cpLimits []float64, groups []int) ([]Fig5Point, error) {
+	ws, err := s.Workloads()
+	if err != nil {
+		return nil, err
+	}
+	var out []Fig5Point
+	for _, tr := range ws {
+		window := tr.Duration() + 2*sim.Millisecond
+		base, err := core.Run(core.Config{MeterWindow: window}, tr)
+		if err != nil {
+			return nil, err
+		}
+		run := func(scheme string, cfg core.Config, cp float64) error {
+			cfg.MeterWindow = window
+			res, err := core.Run(cfg, tr)
+			if err != nil {
+				return err
+			}
+			out = append(out, Fig5Point{
+				Workload: tr.Name, Scheme: scheme, CPLimit: cp,
+				Savings: res.Report.Savings(base.Report),
+				UF:      res.Report.UtilizationFactor,
+			})
+			return nil
+		}
+		for _, cp := range cpLimits {
+			if err := run("dma-ta", taConfig(cp, nil), cp); err != nil {
+				return nil, err
+			}
+			for _, g := range groups {
+				scheme := fmt.Sprintf("dma-ta-pl-%d", g)
+				if err := run(scheme, taConfig(cp, plConfig(g)), cp); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatFig5 renders the savings curves grouped by workload.
+func FormatFig5(pts []Fig5Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: energy savings over baseline vs CP-Limit\n")
+	byWorkload := map[string][]Fig5Point{}
+	var order []string
+	for _, p := range pts {
+		if _, ok := byWorkload[p.Workload]; !ok {
+			order = append(order, p.Workload)
+		}
+		byWorkload[p.Workload] = append(byWorkload[p.Workload], p)
+	}
+	for _, w := range order {
+		fmt.Fprintf(&b, "%s:\n%-14s %9s %10s %6s\n", w, "scheme", "cp-limit", "savings", "uf")
+		for _, p := range byWorkload[w] {
+			fmt.Fprintf(&b, "%-14s %8.0f%% %9.1f%% %6.2f\n",
+				p.Scheme, 100*p.CPLimit, 100*p.Savings, p.UF)
+		}
+	}
+	return b.String()
+}
+
+// Fig6 computes the energy breakdowns of baseline, DMA-TA and
+// DMA-TA-PL on OLTP-St at 10% CP-Limit (the paper's Figure 6).
+func (s *Suite) Fig6() ([]BreakdownRow, error) {
+	tr, err := s.workload("OLTP-St")
+	if err != nil {
+		return nil, err
+	}
+	window := tr.Duration() + 2*sim.Millisecond
+	rows := []BreakdownRow{}
+	for _, c := range []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"baseline", core.Config{}},
+		{"dma-ta", taConfig(0.10, nil)},
+		{"dma-ta-pl", taConfig(0.10, plConfig(2))},
+	} {
+		c.cfg.MeterWindow = window
+		res, err := core.Run(c.cfg, tr)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, breakdownRow(c.label, res.Report.Energy))
+	}
+	return rows, nil
+}
+
+// Fig7Point is a utilization-factor sample.
+type Fig7Point struct {
+	Scheme  string
+	CPLimit float64
+	UF      float64
+}
+
+// Fig7 sweeps CP-Limit and reports the utilization factor of DMA-TA
+// and DMA-TA-PL on OLTP-St (paper: baseline ~0.33, DMA-TA-PL ~0.63 at
+// 10% and ~0.75 at 30%).
+func (s *Suite) Fig7(cpLimits []float64) ([]Fig7Point, error) {
+	tr, err := s.workload("OLTP-St")
+	if err != nil {
+		return nil, err
+	}
+	base, err := core.Run(core.Config{}, tr)
+	if err != nil {
+		return nil, err
+	}
+	out := []Fig7Point{{Scheme: "baseline", CPLimit: 0, UF: base.Report.UtilizationFactor}}
+	for _, cp := range cpLimits {
+		for _, c := range []struct {
+			label string
+			cfg   core.Config
+		}{
+			{"dma-ta", taConfig(cp, nil)},
+			{"dma-ta-pl", taConfig(cp, plConfig(2))},
+		} {
+			res, err := core.Run(c.cfg, tr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig7Point{Scheme: c.label, CPLimit: cp, UF: res.Report.UtilizationFactor})
+		}
+	}
+	return out, nil
+}
+
+// FormatFig7 renders utilization factors.
+func FormatFig7(pts []Fig7Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: utilization factor vs CP-Limit (OLTP-St)\n%-12s %9s %6s\n",
+		"scheme", "cp-limit", "uf")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-12s %8.0f%% %6.3f\n", p.Scheme, 100*p.CPLimit, p.UF)
+	}
+	return b.String()
+}
+
+// SweepPoint is a generic (x, savings) sample for Figures 8-10.
+type SweepPoint struct {
+	Workload string
+	Scheme   string
+	X        float64
+	Savings  float64
+}
+
+// Fig8 varies the Synthetic-St arrival rate (the paper's workload
+// intensity sweep; savings grow with intensity, then flatten).
+func (s *Suite) Fig8(ratesPerMs []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, rate := range ratesPerMs {
+		cfg := synth.DefaultSt()
+		cfg.Duration = s.Duration
+		cfg.Seed = s.Seed + 1
+		cfg.RatePerMs = rate
+		tr, err := synth.GenerateSt(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range []struct {
+			label string
+			cfg   core.Config
+		}{
+			{"dma-ta", taConfig(0.10, nil)},
+			{"dma-ta-pl", taConfig(0.10, plConfig(2))},
+		} {
+			_, _, savings, err := core.RunBaselinePair(core.Config{}, c.cfg, tr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{Workload: "Synthetic-St", Scheme: c.label, X: rate, Savings: savings})
+		}
+	}
+	return out, nil
+}
+
+// Fig9 varies the number of processor accesses per DMA transfer in
+// Synthetic-Db (paper: savings drop as the CPU consumes the idle
+// cycles; OLTP-Db averages 233 accesses per transfer).
+func (s *Suite) Fig9(perTransfer []int) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, per := range perTransfer {
+		cfg := synth.DefaultDb()
+		cfg.St.Duration = s.dbDuration()
+		cfg.St.Seed = s.Seed + 2
+		cfg.ProcRatePerMs = 0
+		cfg.ProcPerTransfer = per
+		tr, err := synth.GenerateDb(cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range []struct {
+			label string
+			cfg   core.Config
+		}{
+			{"dma-ta", taConfig(0.10, nil)},
+			{"dma-ta-pl", taConfig(0.10, plConfig(2))},
+		} {
+			_, _, savings, err := core.RunBaselinePair(core.Config{}, c.cfg, tr)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SweepPoint{Workload: "Synthetic-Db", Scheme: c.label, X: float64(per), Savings: savings})
+		}
+	}
+	return out, nil
+}
+
+// Fig10 varies the I/O bus bandwidth with the memory rate fixed at
+// 3.2 GB/s (the paper sweeps 0.5, 1, 2 and 3 GB/s; savings shrink as
+// the ratio approaches 1).
+func (s *Suite) Fig10(busBW []float64) ([]SweepPoint, error) {
+	var out []SweepPoint
+	for _, name := range []string{"OLTP-St", "Synthetic-St"} {
+		tr, err := s.workload(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, bw := range busBW {
+			bc := bus.Config{Count: 3, Bandwidth: bw}
+			base := core.Config{Buses: bc}
+			for _, c := range []struct {
+				label string
+				cfg   core.Config
+			}{
+				{"dma-ta", core.Config{Buses: bc, TA: controller.DefaultTA(0), CPLimit: 0.10}},
+				{"dma-ta-pl", core.Config{Buses: bc, TA: controller.DefaultTA(0), CPLimit: 0.10, PL: plConfig(2)}},
+			} {
+				_, _, savings, err := core.RunBaselinePair(base, c.cfg, tr)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, SweepPoint{Workload: name, Scheme: c.label, X: 3.2e9 / bw, Savings: savings})
+			}
+		}
+	}
+	return out, nil
+}
+
+// FormatSweep renders a sweep with a caption for the x-axis.
+func FormatSweep(title, xlabel string, pts []SweepPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n%-14s %-12s %10s %9s\n", title, "workload", "scheme", xlabel, "savings")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%-14s %-12s %10.2f %8.1f%%\n", p.Workload, p.Scheme, p.X, 100*p.Savings)
+	}
+	return b.String()
+}

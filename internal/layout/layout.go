@@ -1,0 +1,473 @@
+// Package layout implements the paper's Popularity-based Layout (PL):
+// pages are placed on chips by DMA popularity so that hot chips
+// receive enough concurrent transfers for temporal alignment to work
+// and cold chips sleep longer.
+//
+// The manager keeps an aged DMA reference count per page. At interval
+// boundaries it recomputes the grouping: the hottest pages, covering a
+// HotShare fraction p of recent DMA requests, claim ceil(hotPages /
+// pagesPerChip) "hot" chips; with Groups > 2 the hot chips are
+// subdivided into exponentially sized groups (G1 = 1 chip, G2 = 2,
+// G3 = 4, ...) per Section 4.2.1. Pages found in the wrong group are
+// migrated into slots freed by pages leaving that group, so the number
+// of moves is bounded by the number of misplaced pages, and each move
+// is charged its copy energy (read from the source chip plus write to
+// the destination at full rate).
+package layout
+
+import (
+	"fmt"
+	"sort"
+
+	"dmamem/internal/energy"
+	"dmamem/internal/memsys"
+	"dmamem/internal/sim"
+)
+
+// Config parameterizes PL.
+type Config struct {
+	// Groups is the total number of groups K including the cold group.
+	// The paper's default, and best, setting is 2 (one hot + cold).
+	Groups int
+	// HotShare is p: hot chips are sized to absorb this fraction of
+	// the DMA requests observed in the last interval.
+	HotShare float64
+	// Interval between layout recomputations.
+	Interval sim.Duration
+	// AgeShift right-shifts the reference counters at each interval
+	// (the paper's aging), adapting to workload change.
+	AgeShift uint
+	// MigrateRatio is the hysteresis threshold: a page is only swapped
+	// into a hotter group if its count is at least MigrateRatio times
+	// the count of the page it displaces. This implements the paper's
+	// observation that "pages accessed 8 times are not necessarily
+	// 'hotter' than pages that have been accessed 10 times" — without
+	// it, boundary pages ping-pong between groups and migration energy
+	// swamps the layout benefit. Values <= 1 disable hysteresis.
+	MigrateRatio float64
+	// MinHotCount is the popularity floor: pages with fewer aged
+	// references never qualify for a hot group. Zero means 1.
+	MinHotCount uint32
+}
+
+// DefaultConfig returns the paper's defaults.
+func DefaultConfig() Config {
+	return Config{Groups: 2, HotShare: 0.6, Interval: 20 * sim.Millisecond,
+		AgeShift: 1, MigrateRatio: 1, MinHotCount: 2}
+}
+
+// Validate reports a descriptive error for unusable configs.
+func (c Config) Validate() error {
+	switch {
+	case c.Groups < 2:
+		return fmt.Errorf("layout: Groups = %d, need >= 2", c.Groups)
+	case c.HotShare <= 0 || c.HotShare >= 1:
+		return fmt.Errorf("layout: HotShare = %g outside (0,1)", c.HotShare)
+	case c.Interval <= 0:
+		return fmt.Errorf("layout: Interval = %v", c.Interval)
+	case c.AgeShift > 31:
+		return fmt.Errorf("layout: AgeShift = %d", c.AgeShift)
+	}
+	return nil
+}
+
+// Manager tracks popularity and owns the page -> chip mapping. It
+// satisfies memsys.Mapper.
+type Manager struct {
+	geo memsys.Geometry
+	cfg Config
+
+	loc    []uint16 // page -> chip
+	counts []uint32 // aged DMA reference count per page
+
+	// groupOfChip is the group index each chip belonged to after the
+	// last rebalance (0 = hottest, Groups-1 = cold).
+	groupOfChip []int
+
+	// Costs and statistics.
+	Rebalances       int64
+	MigratedPages    int64
+	MigrationEnergyJ float64
+	SkippedBusy      int64
+}
+
+// New returns a manager with the interleaved baseline layout.
+func New(geo memsys.Geometry, cfg Config) (*Manager, error) {
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if geo.NumChips < 2 {
+		return nil, fmt.Errorf("layout: PL needs >= 2 chips, got %d", geo.NumChips)
+	}
+	if geo.NumChips > 1<<16 {
+		return nil, fmt.Errorf("layout: %d chips exceed mapping width", geo.NumChips)
+	}
+	m := &Manager{
+		geo:         geo,
+		cfg:         cfg,
+		loc:         make([]uint16, geo.TotalPages()),
+		counts:      make([]uint32, geo.TotalPages()),
+		groupOfChip: make([]int, geo.NumChips),
+	}
+	for p := range m.loc {
+		m.loc[p] = uint16(p % geo.NumChips)
+	}
+	for c := range m.groupOfChip {
+		m.groupOfChip[c] = cfg.Groups - 1 // everything cold until first rebalance
+	}
+	return m, nil
+}
+
+// ChipOf implements memsys.Mapper.
+func (m *Manager) ChipOf(p memsys.PageID) int { return int(m.loc[p]) }
+
+// GroupOfChip returns the group a chip was assigned at the last
+// rebalance (Groups-1 before any rebalance).
+func (m *Manager) GroupOfChip(chip int) int { return m.groupOfChip[chip] }
+
+// Observe counts one DMA-memory reference burst to a page. The
+// controller calls it once per page per transfer, matching the paper's
+// "DMA reference counts".
+func (m *Manager) Observe(p memsys.PageID) {
+	if m.counts[p] < 1<<31 {
+		m.counts[p]++
+	}
+}
+
+// Interval returns the configured rebalance period.
+func (m *Manager) Interval() sim.Duration { return m.cfg.Interval }
+
+// ResetCosts zeroes the accumulated migration statistics; the core
+// uses it after an uncharged warm-up rebalance that models a server
+// already in popularity steady state.
+func (m *Manager) ResetCosts() {
+	m.MigratedPages = 0
+	m.MigrationEnergyJ = 0
+	m.Rebalances = 0
+	m.SkippedBusy = 0
+}
+
+// groupSizes splits hotChips into the exponential hot-group sizes plus
+// the cold group: [1, 2, 4, ..., remainder, cold].
+func (m *Manager) groupSizes(hotChips int) []int {
+	cold := m.geo.NumChips - hotChips
+	hotGroups := m.cfg.Groups - 1
+	sizes := make([]int, 0, m.cfg.Groups)
+	remaining := hotChips
+	for g := 0; g < hotGroups; g++ {
+		var s int
+		if g == hotGroups-1 {
+			s = remaining
+		} else {
+			s = 1 << g
+			if s > remaining-(hotGroups-1-g) { // leave at least 1 chip per later group
+				s = remaining - (hotGroups - 1 - g)
+			}
+			if s < 0 {
+				s = 0
+			}
+		}
+		sizes = append(sizes, s)
+		remaining -= s
+	}
+	return append(sizes, cold)
+}
+
+// Rebalance recomputes the layout from the current counters and
+// migrates misplaced pages, skipping pages for which busy returns true
+// (in-flight DMA targets). It returns the number of pages moved and
+// then ages the counters.
+func (m *Manager) Rebalance(busy func(memsys.PageID) bool) int {
+	m.Rebalances++
+	total := uint64(0)
+	for _, c := range m.counts {
+		total += uint64(c)
+	}
+	if total == 0 {
+		m.age()
+		return 0
+	}
+
+	// Order pages by popularity (ties by page ID for determinism).
+	order := make([]int32, len(m.counts))
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if m.counts[a] != m.counts[b] {
+			return m.counts[a] > m.counts[b]
+		}
+		return a < b
+	})
+
+	// Size the hot region: smallest prefix of pages covering HotShare
+	// of the requests. Pages below the popularity floor never qualify:
+	// one-hit wonders are not worth a migration.
+	perChip := m.geo.PagesPerChip()
+	threshold := uint64(m.cfg.HotShare * float64(total))
+	minHot := m.cfg.MinHotCount
+	if minHot < 1 {
+		minHot = 1
+	}
+	cum := uint64(0)
+	hotPages := 0
+	for _, p := range order {
+		if cum >= threshold || m.counts[p] < minHot {
+			break
+		}
+		cum += uint64(m.counts[p])
+		hotPages++
+	}
+	if hotPages == 0 {
+		hotPages = 1
+	}
+	hotChips := (hotPages + perChip - 1) / perChip
+	if m.cfg.Groups > 2 && hotChips < m.cfg.Groups-1 {
+		// Every hot group needs at least one chip; deeper group
+		// structures therefore spread the hot set over more chips.
+		hotChips = m.cfg.Groups - 1
+	}
+	if hotChips > m.geo.NumChips-1 {
+		hotChips = m.geo.NumChips - 1
+	}
+	sizes := m.groupSizes(hotChips)
+
+	// Assign chips to groups: chip ranges in order, so the assignment
+	// is stable while the hot set is stable.
+	newGroupOfChip := make([]int, m.geo.NumChips)
+	chip := 0
+	for g, s := range sizes {
+		for i := 0; i < s; i++ {
+			newGroupOfChip[chip] = g
+			chip++
+		}
+	}
+
+	// Target group per hot page: the hottest pages fill the hottest
+	// groups. Pages outside the hot set have no target — they stay
+	// wherever they are unless evicted to make room, which is what
+	// keeps steady-state migration traffic proportional to actual
+	// popularity change rather than to group capacity.
+	const noTarget = int8(-1)
+	target := make([]int8, len(m.counts))
+	for i := range target {
+		target[i] = noTarget
+	}
+	rank := 0
+	hotGroups := len(sizes) - 1
+	for g := 0; g < hotGroups && rank < hotPages; g++ {
+		capacity := sizes[g] * perChip
+		// Below the capacity bound, spread the hot set over the group
+		// structure in proportion to group size (the paper's popularity
+		// ordering across G1 > G2 > ...); the last hot group absorbs
+		// the remainder.
+		if g < hotGroups-1 && hotChips > 0 {
+			share := (hotPages*sizes[g] + hotChips - 1) / hotChips
+			if share < capacity {
+				capacity = share
+			}
+		}
+		for i := 0; i < capacity && rank < hotPages; i++ {
+			target[order[rank]] = int8(g)
+			rank++
+		}
+	}
+
+	moves := m.executeMoves(newGroupOfChip, target, order, busy)
+	m.groupOfChip = newGroupOfChip
+	m.age()
+	return moves
+}
+
+// executeMoves migrates hot-set pages into their target groups and
+// evicts just enough cold pages to make room. Pages outside the hot
+// set (target < 0) stay put unless evicted, so steady-state migration
+// traffic tracks popularity change, not group capacity. Because every
+// executed mover both frees its old slot and consumes a freed one,
+// per-chip occupancy is preserved. Busy pages stay put; their
+// counterparts are trimmed so that |entering| == |leaving| for every
+// group.
+func (m *Manager) executeMoves(groupOfChip []int, target []int8, order []int32, busy func(memsys.PageID) bool) int {
+	k := m.cfg.Groups
+	cold := k - 1
+	entering := make([][]int32, k) // pages wanting in, hottest first
+	leaving := make([][]int32, k)  // pages wanting out (their chips free slots)
+	moving := make(map[int32]bool)
+
+	// Hot-set movers, hottest first (order is popularity-sorted and
+	// targets were assigned along its prefix).
+	for _, p := range order {
+		tgt := target[p]
+		if tgt < 0 {
+			break // end of the hot prefix
+		}
+		cur := groupOfChip[m.loc[p]]
+		if int(tgt) == cur {
+			continue
+		}
+		if busy != nil && busy(memsys.PageID(p)) {
+			m.SkippedBusy++
+			continue
+		}
+		entering[tgt] = append(entering[tgt], p)
+		leaving[cur] = append(leaving[cur], p)
+		moving[p] = true
+	}
+
+	// Room-making evictions: a hot group receiving more pages than it
+	// loses evicts its coldest uninvolved residents to the cold group.
+	for g := 0; g < cold; g++ {
+		deficit := len(entering[g]) - len(leaving[g])
+		for i := len(order) - 1; i >= 0 && deficit > 0; i-- {
+			p := order[i]
+			if target[p] >= 0 || moving[p] {
+				continue
+			}
+			if groupOfChip[m.loc[p]] != g {
+				continue
+			}
+			if busy != nil && busy(memsys.PageID(p)) {
+				continue
+			}
+			entering[cold] = append(entering[cold], p)
+			leaving[g] = append(leaving[g], p)
+			moving[p] = true
+			deficit--
+		}
+	}
+	dropped := make(map[int32]bool)
+
+	// Hysteresis: for each hot group, cancel marginal swaps. The
+	// least-popular would-be enterer and the most-popular would-be
+	// leaver are a swap pair; if the enterer is not clearly hotter
+	// (count < MigrateRatio * leaver count), keep both where they are.
+	if m.cfg.MigrateRatio > 1 {
+		for g := 0; g < k-1; g++ {
+			in := append([]int32(nil), entering[g]...)
+			out := append([]int32(nil), leaving[g]...)
+			sort.Slice(in, func(i, j int) bool { // coldest enterer first
+				if m.counts[in[i]] != m.counts[in[j]] {
+					return m.counts[in[i]] < m.counts[in[j]]
+				}
+				return in[i] < in[j]
+			})
+			sort.Slice(out, func(i, j int) bool { // hottest leaver first
+				if m.counts[out[i]] != m.counts[out[j]] {
+					return m.counts[out[i]] > m.counts[out[j]]
+				}
+				return out[i] < out[j]
+			})
+			i := 0
+			for i < len(in) && i < len(out) {
+				if float64(m.counts[in[i]]) < m.cfg.MigrateRatio*float64(m.counts[out[i]]) {
+					dropped[in[i]] = true
+					dropped[out[i]] = true
+					i++
+					continue
+				}
+				break
+			}
+		}
+	}
+
+	// Trim to a consistent exchange: drop excess enterers (coldest
+	// first) until every group has |entering| <= |leaving|; dropping an
+	// enterer also removes it from its home group's leavers, so
+	// iterate to a fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for g := 0; g < k; g++ {
+			live := 0
+			for _, p := range leaving[g] {
+				if !dropped[p] {
+					live++
+				}
+			}
+			in := entering[g]
+			liveIn := 0
+			for _, p := range in {
+				if !dropped[p] {
+					liveIn++
+				}
+			}
+			for liveIn > live {
+				// Drop the least popular live enterer (they are in
+				// popularity order only incidentally; scan from the
+				// back).
+				for i := len(in) - 1; i >= 0; i-- {
+					if !dropped[in[i]] {
+						dropped[in[i]] = true
+						liveIn--
+						changed = true
+						break
+					}
+				}
+			}
+		}
+	}
+
+	// Snapshot the freed slots of every group before any page moves,
+	// so a leaver that has already been reassigned still frees its old
+	// chip.
+	freed := make([][]uint16, k)
+	for g := 0; g < k; g++ {
+		for _, p := range leaving[g] {
+			if !dropped[p] {
+				freed[g] = append(freed[g], m.loc[p])
+			}
+		}
+	}
+
+	// Execute: pair each live enterer of g with a slot freed by a live
+	// leaver of g.
+	copyTime := m.geo.ServiceTime(int64(m.geo.PageBytes))
+	perMoveJ := 2 * energy.ActivePower * copyTime.Seconds()
+	moves := 0
+	for g := 0; g < k; g++ {
+		slots := freed[g]
+		si := 0
+		for _, p := range entering[g] {
+			if dropped[p] {
+				continue
+			}
+			if si >= len(slots) {
+				panic("layout: exchange imbalance after trimming")
+			}
+			m.loc[p] = slots[si]
+			si++
+			moves++
+			m.MigrationEnergyJ += perMoveJ
+		}
+	}
+	m.MigratedPages += int64(moves)
+	return moves
+}
+
+func (m *Manager) age() {
+	if m.cfg.AgeShift == 0 {
+		return
+	}
+	for i := range m.counts {
+		m.counts[i] >>= m.cfg.AgeShift
+	}
+}
+
+// checkInvariants verifies that every chip holds exactly PagesPerChip
+// pages; tests call it.
+func (m *Manager) checkInvariants() error {
+	occ := make([]int, m.geo.NumChips)
+	for _, c := range m.loc {
+		occ[c]++
+	}
+	per := m.geo.PagesPerChip()
+	for c, n := range occ {
+		if n != per {
+			return fmt.Errorf("chip %d holds %d pages, want %d", c, n, per)
+		}
+	}
+	return nil
+}

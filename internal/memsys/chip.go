@@ -1,0 +1,302 @@
+package memsys
+
+import (
+	"fmt"
+
+	"dmamem/internal/energy"
+	"dmamem/internal/sim"
+)
+
+// Phase distinguishes residence in a state from the transitions between
+// states.
+type Phase uint8
+
+const (
+	// PhaseResident: the chip is settled in State.
+	PhaseResident Phase = iota
+	// PhaseWaking: the chip is transitioning from a low-power state to
+	// Active; it becomes resident at ReadyAt.
+	PhaseWaking
+	// PhaseSleeping: the chip is transitioning from Active down to
+	// State; it becomes resident at ReadyAt.
+	PhaseSleeping
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseResident:
+		return "resident"
+	case PhaseWaking:
+		return "waking"
+	case PhaseSleeping:
+		return "sleeping"
+	}
+	return fmt.Sprintf("Phase(%d)", uint8(p))
+}
+
+// Chip is the power state machine and energy integrator for one memory
+// device. It is a passive model: the memory controller and the
+// low-level policy decide *when* to change state; the chip guarantees
+// that every picosecond of simulated time is charged to exactly one
+// energy category.
+//
+// While the chip is resident in Active, the controller owns the
+// accounting (it knows the utilization of each piecewise-constant
+// interval) and advances the chip's cursor through AccountActive.
+// Low-power residence and transitions are charged by the chip itself.
+type Chip struct {
+	ID    int
+	Meter energy.Meter
+	spec  *energy.Spec
+
+	state   energy.State // resident state, or target while transitioning
+	phase   Phase
+	cursor  sim.Time // time up to which energy has been charged
+	readyAt sim.Time // transition completion time when not resident
+
+	// Statistics for the utilization factor and transition counts.
+	Wakes        int64
+	sleepCounts  map[energy.State]int64
+	ActiveTime   sim.Duration // total time charged while resident Active
+	TransferTime sim.Duration // active time during which >=1 DMA transfer was in progress
+	ServingTime  sim.Duration // portion of TransferTime actually serving DMA data
+	// Residency is the time spent resident in each state (micro-naps
+	// count toward Nap; transition time is excluded).
+	Residency [4]sim.Duration
+}
+
+// NewChip returns a chip resident in the given state at time now,
+// using the default RDRAM power model.
+func NewChip(id int, start energy.State, now sim.Time) *Chip {
+	return NewChipWithSpec(id, start, now, energy.RDRAM1600())
+}
+
+// NewChipWithSpec returns a chip using an explicit technology spec.
+func NewChipWithSpec(id int, start energy.State, now sim.Time, spec *energy.Spec) *Chip {
+	if spec == nil {
+		spec = energy.RDRAM1600()
+	}
+	return &Chip{ID: id, spec: spec, state: start, phase: PhaseResident, cursor: now,
+		sleepCounts: make(map[energy.State]int64)}
+}
+
+// Spec returns the chip's technology spec.
+func (c *Chip) Spec() *energy.Spec { return c.spec }
+
+// State returns the resident state, or the target state while a
+// transition is in flight.
+func (c *Chip) State() energy.State { return c.state }
+
+// Phase returns the chip's current phase.
+func (c *Chip) Phase() Phase { return c.phase }
+
+// Resident reports whether the chip is settled (not transitioning).
+func (c *Chip) Resident() bool { return c.phase == PhaseResident }
+
+// ReadyAt returns when an in-flight transition completes; it is only
+// meaningful while not resident.
+func (c *Chip) ReadyAt() sim.Time { return c.readyAt }
+
+// SleepCount reports how many times the chip entered state s.
+func (c *Chip) SleepCount(s energy.State) int64 { return c.sleepCounts[s] }
+
+// Cursor returns the instant up to which the chip's energy has been
+// accounted. While resident in Active, the controller advances it via
+// AccountActive.
+func (c *Chip) Cursor() sim.Time { return c.cursor }
+
+func (c *Chip) checkCursor(now sim.Time) {
+	if now < c.cursor {
+		panic(fmt.Sprintf("memsys: chip %d accounting going backwards: cursor %v, now %v",
+			c.ID, c.cursor, now))
+	}
+}
+
+// BeginWake starts the transition from a resident low-power state to
+// Active. The elapsed low-power residence is charged, the transition
+// energy is charged eagerly (transitions are never aborted), and the
+// completion instant is returned so the caller can schedule
+// CompleteWake.
+func (c *Chip) BeginWake(now sim.Time) sim.Time {
+	if c.phase != PhaseResident || c.state == energy.Active {
+		panic(fmt.Sprintf("memsys: chip %d BeginWake in phase %v state %v", c.ID, c.phase, c.state))
+	}
+	c.checkCursor(now)
+	c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(c.state), now.Sub(c.cursor))
+	c.Residency[c.state] += now.Sub(c.cursor)
+	tr := c.spec.UpFrom(c.state)
+	c.Meter.Accumulate(energy.CatTransition, tr.Power, tr.Time)
+	c.phase = PhaseWaking
+	c.readyAt = now.Add(tr.Time)
+	c.cursor = c.readyAt
+	c.Wakes++
+	return c.readyAt
+}
+
+// CompleteWake makes the chip resident in Active. now must be the
+// instant returned by BeginWake.
+func (c *Chip) CompleteWake(now sim.Time) {
+	if c.phase != PhaseWaking {
+		panic(fmt.Sprintf("memsys: chip %d CompleteWake in phase %v", c.ID, c.phase))
+	}
+	if now != c.readyAt {
+		panic(fmt.Sprintf("memsys: chip %d CompleteWake at %v, expected %v", c.ID, now, c.readyAt))
+	}
+	c.phase = PhaseResident
+	c.state = energy.Active
+}
+
+// BeginSleep starts the transition from resident Active into low-power
+// state to. Active time must already be fully accounted (the
+// controller's cursor must equal now). Returns the completion instant.
+func (c *Chip) BeginSleep(to energy.State, now sim.Time) sim.Time {
+	if c.phase != PhaseResident || c.state != energy.Active {
+		panic(fmt.Sprintf("memsys: chip %d BeginSleep in phase %v state %v", c.ID, c.phase, c.state))
+	}
+	if to == energy.Active {
+		panic("memsys: BeginSleep to Active")
+	}
+	c.checkCursor(now)
+	if now != c.cursor {
+		// Unaccounted active time would silently vanish.
+		panic(fmt.Sprintf("memsys: chip %d BeginSleep with unaccounted active span [%v,%v)",
+			c.ID, c.cursor, now))
+	}
+	tr := c.spec.DownTo(to)
+	c.Meter.Accumulate(energy.CatTransition, tr.Power, tr.Time)
+	c.phase = PhaseSleeping
+	c.state = to
+	c.readyAt = now.Add(tr.Time)
+	c.cursor = c.readyAt
+	c.sleepCounts[to]++
+	return c.readyAt
+}
+
+// CompleteSleep makes the chip resident in its target low-power state.
+func (c *Chip) CompleteSleep(now sim.Time) {
+	if c.phase != PhaseSleeping {
+		panic(fmt.Sprintf("memsys: chip %d CompleteSleep in phase %v", c.ID, c.phase))
+	}
+	if now != c.readyAt {
+		panic(fmt.Sprintf("memsys: chip %d CompleteSleep at %v, expected %v", c.ID, now, c.readyAt))
+	}
+	c.phase = PhaseResident
+}
+
+// Deepen moves a chip resident in one low-power state directly into a
+// deeper one (the dynamic policy's threshold chain). The residence so
+// far is charged; the down transition is charged with the deeper
+// state's transition row.
+func (c *Chip) Deepen(to energy.State, now sim.Time) sim.Time {
+	if c.phase != PhaseResident || c.state == energy.Active {
+		panic(fmt.Sprintf("memsys: chip %d Deepen in phase %v state %v", c.ID, c.phase, c.state))
+	}
+	if to <= c.state {
+		panic(fmt.Sprintf("memsys: chip %d Deepen from %v to %v is not deeper", c.ID, c.state, to))
+	}
+	c.checkCursor(now)
+	c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(c.state), now.Sub(c.cursor))
+	c.Residency[c.state] += now.Sub(c.cursor)
+	tr := c.spec.DownTo(to)
+	c.Meter.Accumulate(energy.CatTransition, tr.Power, tr.Time)
+	c.phase = PhaseSleeping
+	c.state = to
+	c.readyAt = now.Add(tr.Time)
+	c.cursor = c.readyAt
+	c.sleepCounts[to]++
+	return c.readyAt
+}
+
+// MicroNapOverheadPower approximates the transition energy of
+// burst-granularity naps: a chip that naps between DMA bursts pays the
+// nap entry/exit transitions once per gap. At typical microsecond gap
+// lengths that averages to a few milliwatts on top of the nap power.
+const MicroNapOverheadPower = 0.005
+
+// AccountActive charges the active span [cursor, to) while the chip is
+// resident in Active. serving is the portion spent moving DMA data,
+// proc the portion spent servicing processor accesses; inTransfer
+// states whether at least one DMA transfer was in progress during the
+// span (the distinction between "Active Idle DMA" and "Active Idle
+// Threshold" in the paper's breakdowns).
+func (c *Chip) AccountActive(to sim.Time, serving, proc sim.Duration, inTransfer bool) {
+	span := to.Sub(c.cursor)
+	if serving < 0 || proc < 0 || serving+proc > span {
+		panic(fmt.Sprintf("memsys: chip %d AccountActive serving %v + proc %v exceeds span %v",
+			c.ID, serving, proc, span))
+	}
+	idleDMA := sim.Duration(0)
+	if inTransfer {
+		idleDMA = span - serving - proc
+	}
+	c.AccountActiveSpan(to, serving, proc, idleDMA, 0)
+}
+
+// AccountActiveSpan is the detailed form used by the burst-level bus
+// model: the span decomposes into DMA serving, processor serving,
+// bandwidth-mismatch idle (full active power, between requests of
+// in-flight bursts), micro-nap time (the chip naps through the gaps
+// between bursts of rate-shared streams), and the remainder, which is
+// threshold idle. TransferTime — the uf denominator — covers serving
+// plus mismatch idle: the time some DMA transfer keeps the chip in
+// active mode.
+func (c *Chip) AccountActiveSpan(to sim.Time, serving, proc, idleDMA, microNap sim.Duration) {
+	if c.phase != PhaseResident || c.state != energy.Active {
+		panic(fmt.Sprintf("memsys: chip %d AccountActiveSpan in phase %v state %v", c.ID, c.phase, c.state))
+	}
+	c.checkCursor(to)
+	span := to.Sub(c.cursor)
+	if serving < 0 || proc < 0 || idleDMA < 0 || microNap < 0 {
+		panic(fmt.Sprintf("memsys: chip %d negative component in span accounting", c.ID))
+	}
+	threshold := span - serving - proc - idleDMA - microNap
+	if threshold < 0 {
+		panic(fmt.Sprintf("memsys: chip %d span %v overfull: serving %v proc %v idleDMA %v nap %v",
+			c.ID, span, serving, proc, idleDMA, microNap))
+	}
+	active := c.spec.Power(energy.Active)
+	c.Meter.Accumulate(energy.CatServing, active, serving)
+	c.Meter.Accumulate(energy.CatProcServing, active, proc)
+	c.Meter.Accumulate(energy.CatIdleDMA, active, idleDMA)
+	c.Meter.Accumulate(energy.CatIdleThreshold, active, threshold)
+	c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(energy.Nap), microNap)
+	c.Meter.Accumulate(energy.CatTransition, MicroNapOverheadPower, microNap)
+	c.ActiveTime += span - microNap
+	c.TransferTime += serving + idleDMA
+	c.ServingTime += serving
+	c.Residency[energy.Active] += span - microNap
+	c.Residency[energy.Nap] += microNap
+	c.cursor = to
+}
+
+// Close flushes the open span at the end of a simulation. A chip left
+// resident in a low-power state is charged its residence; a chip left
+// Active is charged threshold-idle for the tail (the controller flushes
+// transfer intervals itself before closing).
+func (c *Chip) Close(now sim.Time) {
+	if c.phase != PhaseResident {
+		// Transition energy was charged eagerly and the cursor already
+		// sits at the completion instant; nothing left to do even if
+		// the simulation ends mid-transition.
+		return
+	}
+	c.checkCursor(now)
+	switch {
+	case c.state == energy.Active:
+		c.AccountActive(now, 0, 0, false)
+	default:
+		c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(c.state), now.Sub(c.cursor))
+		c.Residency[c.state] += now.Sub(c.cursor)
+		c.cursor = now
+	}
+}
+
+// UtilizationFactor is the paper's uf metric for this chip:
+// ServingTime / TransferTime. It returns 0 for a chip that never saw a
+// transfer.
+func (c *Chip) UtilizationFactor() float64 {
+	if c.TransferTime == 0 {
+		return 0
+	}
+	return float64(c.ServingTime) / float64(c.TransferTime)
+}

@@ -1,0 +1,216 @@
+// Package metrics defines the measurement vocabulary of the
+// evaluation: energy breakdowns and savings, the utilization factor of
+// Section 5.3, response-time statistics, and the off-line CP-Limit ->
+// mu transform of Section 5.1.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"dmamem/internal/energy"
+	"dmamem/internal/sim"
+)
+
+// Report is the outcome of one simulation run.
+type Report struct {
+	// Scheme that produced the numbers ("baseline", "dma-ta",
+	// "dma-ta-pl", ...).
+	Scheme string
+
+	// Energy is the system-wide breakdown in joules.
+	Energy energy.Breakdown
+
+	// UtilizationFactor is uf = T_useful / T_tot over all chips:
+	// T_tot is active time with >=1 DMA transfer in progress, T_useful
+	// the portion actually serving DMA data.
+	UtilizationFactor float64
+
+	// Transfer-level performance.
+	Transfers       int64
+	MeanServiceTime sim.Duration // mean transfer residency (arrival -> completion)
+	P95ServiceTime  sim.Duration
+	MaxServiceTime  sim.Duration
+	MeanGatherDelay sim.Duration // mean DMA-TA gating delay per transfer
+
+	// Power-management activity.
+	Wakes      int64
+	Migrations int64
+	// Residency is the chip-time spent resident in each power state
+	// (active, standby, nap, powerdown), summed over chips.
+	Residency [4]sim.Duration
+
+	// SimulatedTime covered by the run.
+	SimulatedTime sim.Duration
+}
+
+// TotalEnergy returns total joules.
+func (r *Report) TotalEnergy() float64 { return r.Energy.Total() }
+
+// MeanPower returns average system power in watts.
+func (r *Report) MeanPower() float64 {
+	if r.SimulatedTime <= 0 {
+		return 0
+	}
+	return r.TotalEnergy() / r.SimulatedTime.Seconds()
+}
+
+// Savings returns the fractional energy saving of r relative to a
+// baseline run: (base - r) / base. Positive means r consumes less.
+func (r *Report) Savings(base *Report) float64 {
+	b := base.TotalEnergy()
+	if b == 0 {
+		return 0
+	}
+	return (b - r.TotalEnergy()) / b
+}
+
+// Degradation returns the fractional increase of mean transfer service
+// time relative to a reference run.
+func (r *Report) Degradation(ref *Report) float64 {
+	if ref.MeanServiceTime <= 0 {
+		return 0
+	}
+	return float64(r.MeanServiceTime-ref.MeanServiceTime) / float64(ref.MeanServiceTime)
+}
+
+// ClientDegradation translates a transfer-level slowdown into the
+// client-perceived response-time degradation CP-Limit bounds: the
+// added transfer time, times the number of transfers on a client
+// request's critical path, as a fraction of the client response time.
+func (r *Report) ClientDegradation(ref *Report, cal Calibration) float64 {
+	if cal.MeanClientResponse <= 0 {
+		return 0
+	}
+	added := float64(r.MeanServiceTime - ref.MeanServiceTime)
+	if added < 0 {
+		added = 0
+	}
+	return added * cal.TransfersPerRequest / float64(cal.MeanClientResponse)
+}
+
+func (r *Report) String() string {
+	return fmt.Sprintf("%s: %.4f J (%.1f mW), uf=%.3f, mean xfer=%v, wakes=%d",
+		r.Scheme, r.TotalEnergy(), 1e3*r.MeanPower(), r.UtilizationFactor,
+		r.MeanServiceTime, r.Wakes)
+}
+
+// Calibration carries the workload-level quantities of the off-line
+// CP-Limit -> mu transform: how a bound on client-perceived response
+// time degradation becomes the per-DMA-memory-request slack parameter
+// mu that DMA-TA actually takes.
+type Calibration struct {
+	// MeanClientResponse of the workload (from the server model or an
+	// estimate for synthetic traces).
+	MeanClientResponse sim.Duration
+	// TransfersPerRequest on a client request's critical path.
+	TransfersPerRequest float64
+	// MeanRequestsPerTransfer: DMA-memory requests per transfer
+	// (transfer bytes / 8).
+	MeanRequestsPerTransfer float64
+	// T is the baseline service time of one DMA-memory request without
+	// alignment or power management: one bus beat.
+	T sim.Duration
+	// SafetyFactor derates the analytic slack budget to cover delay
+	// amplification that request-level accounting cannot see (bus
+	// queueing behind released bursts, serialization behind wakes).
+	// The paper derives mu by off-line measurement against the
+	// client-perceived response time, which captures the same effects
+	// empirically. Zero means 1 (no derating).
+	SafetyFactor float64
+}
+
+// Validate reports a descriptive error for unusable calibrations.
+func (c Calibration) Validate() error {
+	switch {
+	case c.MeanClientResponse <= 0:
+		return fmt.Errorf("metrics: MeanClientResponse %v", c.MeanClientResponse)
+	case c.TransfersPerRequest <= 0:
+		return fmt.Errorf("metrics: TransfersPerRequest %g", c.TransfersPerRequest)
+	case c.MeanRequestsPerTransfer <= 0:
+		return fmt.Errorf("metrics: MeanRequestsPerTransfer %g", c.MeanRequestsPerTransfer)
+	case c.T <= 0:
+		return fmt.Errorf("metrics: T %v", c.T)
+	}
+	return nil
+}
+
+// Mu computes the per-request slack parameter for a client-perceived
+// degradation limit: the total client budget cpLimit*R, spread over
+// the transfers on the critical path and then over each transfer's
+// DMA-memory requests, expressed as a multiple of T.
+func (c Calibration) Mu(cpLimit float64) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	if cpLimit < 0 {
+		return 0, fmt.Errorf("metrics: negative CP-Limit %g", cpLimit)
+	}
+	sf := c.SafetyFactor
+	if sf == 0 {
+		sf = 1
+	}
+	if sf < 0 || sf > 1 {
+		return 0, fmt.Errorf("metrics: SafetyFactor %g outside (0,1]", sf)
+	}
+	budget := sf * cpLimit * float64(c.MeanClientResponse) / c.TransfersPerRequest
+	perReq := budget / c.MeanRequestsPerTransfer
+	return perReq / float64(c.T), nil
+}
+
+// DurationStats summarizes a set of durations.
+type DurationStats struct {
+	n    int
+	sum  sim.Duration
+	vals []sim.Duration
+}
+
+// Add records one observation.
+func (s *DurationStats) Add(d sim.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("metrics: negative duration %v", d))
+	}
+	s.n++
+	s.sum += d
+	s.vals = append(s.vals, d)
+}
+
+// Count returns the number of observations.
+func (s *DurationStats) Count() int { return s.n }
+
+// Mean returns the average, or 0 with no observations.
+func (s *DurationStats) Mean() sim.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	return sim.Duration(int64(s.sum) / int64(s.n))
+}
+
+// Percentile returns the p-quantile (0 < p <= 1) by nearest-rank.
+func (s *DurationStats) Percentile(p float64) sim.Duration {
+	if s.n == 0 {
+		return 0
+	}
+	if p <= 0 || p > 1 {
+		panic(fmt.Sprintf("metrics: percentile %g", p))
+	}
+	sorted := append([]sim.Duration(nil), s.vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	rank := int(math.Ceil(p*float64(s.n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Max returns the maximum observation.
+func (s *DurationStats) Max() sim.Duration {
+	var m sim.Duration
+	for _, v := range s.vals {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

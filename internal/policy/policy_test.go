@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"testing"
+
+	"dmamem/internal/energy"
+	"dmamem/internal/sim"
+)
+
+func TestDynamicChain(t *testing.T) {
+	d := NewDynamic()
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wait, next, ok := d.NextStep(energy.Active)
+	if !ok || next != energy.Standby || wait != 10*sim.Nanosecond {
+		t.Fatalf("active step: wait=%v next=%v ok=%v", wait, next, ok)
+	}
+	wait, next, ok = d.NextStep(energy.Standby)
+	if !ok || next != energy.Nap || wait != d.NapAfter {
+		t.Fatalf("standby step: wait=%v next=%v ok=%v", wait, next, ok)
+	}
+	wait, next, ok = d.NextStep(energy.Nap)
+	if !ok || next != energy.Powerdown || wait != d.PowerdownAfter {
+		t.Fatalf("nap step: wait=%v next=%v ok=%v", wait, next, ok)
+	}
+	if _, _, ok := d.NextStep(energy.Powerdown); ok {
+		t.Fatal("powerdown should be terminal")
+	}
+	if d.Name() != "dynamic" {
+		t.Fatalf("name = %q", d.Name())
+	}
+}
+
+func TestDynamicChainWalk(t *testing.T) {
+	// Walking the chain from Active must terminate in Powerdown in
+	// exactly three steps, strictly deepening.
+	d := NewDynamic()
+	s := energy.Active
+	steps := 0
+	for {
+		_, next, ok := d.NextStep(s)
+		if !ok {
+			break
+		}
+		if next <= s {
+			t.Fatalf("chain does not deepen: %v -> %v", s, next)
+		}
+		s = next
+		steps++
+		if steps > 10 {
+			t.Fatal("chain does not terminate")
+		}
+	}
+	if s != energy.Powerdown || steps != 3 {
+		t.Fatalf("walk ended at %v after %d steps", s, steps)
+	}
+}
+
+func TestDynamicValidate(t *testing.T) {
+	bad := &Dynamic{StandbyAfter: -1}
+	if bad.Validate() == nil {
+		t.Fatal("expected error for negative threshold")
+	}
+}
+
+func TestStatic(t *testing.T) {
+	p := &Static{Mode: energy.Nap}
+	wait, next, ok := p.NextStep(energy.Active)
+	if !ok || wait != 0 || next != energy.Nap {
+		t.Fatalf("static active step: %v %v %v", wait, next, ok)
+	}
+	if _, _, ok := p.NextStep(energy.Nap); ok {
+		t.Fatal("static mode should be terminal")
+	}
+	if _, _, ok := p.NextStep(energy.Powerdown); ok {
+		t.Fatal("other states should be terminal")
+	}
+	if p.Name() != "static-nap" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestStaticActiveMode(t *testing.T) {
+	p := &Static{Mode: energy.Active}
+	if _, _, ok := p.NextStep(energy.Active); ok {
+		t.Fatal("static-active should never transition")
+	}
+}
+
+func TestAlwaysActive(t *testing.T) {
+	var p AlwaysActive
+	if _, _, ok := p.NextStep(energy.Active); ok {
+		t.Fatal("always-active should never transition")
+	}
+	if p.Name() != "always-active" {
+		t.Fatalf("name = %q", p.Name())
+	}
+}
+
+func TestBreakEvenDynamic(t *testing.T) {
+	d := BreakEvenDynamic(1.0)
+	if d.StandbyAfter != energy.BreakEven(energy.Standby) {
+		t.Errorf("standby threshold %v != break-even", d.StandbyAfter)
+	}
+	if d.PowerdownAfter != energy.BreakEven(energy.Powerdown) {
+		t.Errorf("powerdown threshold %v != break-even", d.PowerdownAfter)
+	}
+	d2 := BreakEvenDynamic(2.0)
+	if d2.NapAfter != 2*d.NapAfter {
+		t.Errorf("scaling broken: %v vs %v", d2.NapAfter, d.NapAfter)
+	}
+}
+
+func TestBreakEvenDynamicPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for scale <= 0")
+		}
+	}()
+	BreakEvenDynamic(0)
+}
+
+func TestPolicyInterfaceCompliance(t *testing.T) {
+	for _, p := range []Policy{NewDynamic(), &Static{Mode: energy.Nap}, AlwaysActive{}, BreakEvenDynamic(1)} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}

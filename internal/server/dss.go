@@ -1,0 +1,207 @@
+package server
+
+import (
+	"fmt"
+
+	"dmamem/internal/disk"
+	"dmamem/internal/memsys"
+	"dmamem/internal/san"
+	"dmamem/internal/sim"
+	"dmamem/internal/synth"
+	"dmamem/internal/trace"
+)
+
+// DSSConfig parameterizes the decision-support (TPC-H style) workload
+// the paper lists as future work: a database server running large
+// analytical scans. Unlike OLTP, the memory traffic is dominated by
+// long sequential runs of disk DMA transfers streaming table segments
+// into memory, with modest result traffic going out — a very different
+// alignment profile (few, long, predictable streams) from OLTP's many
+// short skewed ones.
+type DSSConfig struct {
+	Seed     uint64
+	Duration sim.Duration
+	// QueryRatePerMs is the analytical query arrival rate. DSS queries
+	// are rare but enormous.
+	QueryRatePerMs float64
+	// ScanPages is the mean number of pages one query scans; the scan
+	// is issued as a run of consecutive multi-page transfers.
+	ScanPages int
+	// TransferPages is the size of each scan transfer (a read-ahead
+	// unit; DSS systems stream in large chunks).
+	TransferPages int
+	// ResultFraction of scanned bytes leaves as network DMA results
+	// (aggregations return far less than they read).
+	ResultFraction float64
+	// Tables is the number of distinct table regions scans start from.
+	Tables int
+	// Frames of memory available as scan buffers.
+	Frames    int
+	PageBytes int
+	Buses     int
+	// BusBandwidth for nominal transfer durations on the reply path.
+	BusBandwidth float64
+
+	Disk        disk.Config
+	DiskCount   int
+	StripeBytes int64
+	SAN         san.Config
+}
+
+// DefaultDSS returns a TPC-H-flavored configuration: one multi-GB scan
+// query every few milliseconds, streamed in 64 KB read-ahead units.
+func DefaultDSS() DSSConfig {
+	g := memsys.Default()
+	sanCfg := san.DefaultConfig()
+	sanCfg.Bandwidth = 2e9
+	return DSSConfig{
+		Seed:           13,
+		Duration:       100 * sim.Millisecond,
+		QueryRatePerMs: 0.15, // one query per ~7 ms
+		ScanPages:      1024,
+		TransferPages:  8, // 64 KB read-ahead units
+		ResultFraction: 0.02,
+		Tables:         64,
+		Frames:         g.TotalPages(),
+		PageBytes:      g.PageBytes,
+		Buses:          3,
+		BusBandwidth:   1.064e9,
+		Disk:           disk.DefaultConfig(),
+		DiskCount:      80,
+		StripeBytes:    256 << 10,
+		SAN:            sanCfg,
+	}
+}
+
+func (c DSSConfig) validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("server: nonpositive duration %v", c.Duration)
+	case c.QueryRatePerMs <= 0:
+		return fmt.Errorf("server: nonpositive query rate %g", c.QueryRatePerMs)
+	case c.ScanPages <= 0 || c.TransferPages <= 0:
+		return fmt.Errorf("server: scan %d / transfer %d pages", c.ScanPages, c.TransferPages)
+	case c.TransferPages > c.ScanPages:
+		return fmt.Errorf("server: transfer unit larger than scan")
+	case c.ResultFraction < 0 || c.ResultFraction > 1:
+		return fmt.Errorf("server: result fraction %g", c.ResultFraction)
+	case c.Tables <= 0:
+		return fmt.Errorf("server: %d tables", c.Tables)
+	case c.Frames < c.ScanPages:
+		return fmt.Errorf("server: %d frames cannot hold one scan", c.Frames)
+	case c.Buses <= 0 || c.Buses > 255:
+		return fmt.Errorf("server: %d buses", c.Buses)
+	case c.BusBandwidth <= 0:
+		return fmt.Errorf("server: bus bandwidth %g", c.BusBandwidth)
+	case c.DiskCount <= 0:
+		return fmt.Errorf("server: %d disks", c.DiskCount)
+	}
+	return nil
+}
+
+// DSSResult is the generated trace plus workload statistics.
+type DSSResult struct {
+	Trace    *trace.Trace
+	Queries  int64
+	MeanResp sim.Duration
+}
+
+// GenerateDSS runs the decision-support model. Each query streams its
+// scan from the disk array into a circular region of scan buffers
+// (one disk DMA per read-ahead unit, paced by the array) and emits a
+// small result transfer at the end.
+func GenerateDSS(c DSSConfig) (*DSSResult, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	rng := synth.NewRNG(c.Seed)
+	array, err := disk.NewArray(c.DiskCount, c.Disk, c.StripeBytes)
+	if err != nil {
+		return nil, err
+	}
+	fabric, err := san.NewFabric(c.SAN)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DSSResult{Trace: &trace.Trace{Name: "DSS"}}
+	tr := res.Trace
+	meanGap := 1e-3 / c.QueryRatePerMs
+	unitBytes := int64(c.TransferPages) * int64(c.PageBytes)
+
+	// Scan buffers: each query claims a contiguous window of frames,
+	// advancing circularly (DSS buffer managers recycle scan memory
+	// rather than caching it).
+	nextFrame := 0
+	claim := func(pages int) memsys.PageID {
+		if nextFrame+pages > c.Frames {
+			nextFrame = 0
+		}
+		start := nextFrame
+		nextFrame += pages
+		return memsys.PageID(start)
+	}
+
+	var now sim.Time
+	var respSum sim.Duration
+	for {
+		now = now.Add(sim.FromSeconds(rng.Exp(meanGap)))
+		if now > sim.Time(c.Duration) {
+			break
+		}
+		res.Queries++
+		arrive := fabric.RequestArrival(now)
+
+		// The scan length varies around the mean; at least one unit.
+		units := int(rng.Exp(float64(c.ScanPages) / float64(c.TransferPages)))
+		if units < 1 {
+			units = 1
+		}
+		table := rng.Intn(c.Tables)
+		tableOffset := int64(table) * int64(c.ScanPages) * int64(c.PageBytes) * 4
+		frames := claim(units * c.TransferPages)
+
+		// Stream the scan: the read-ahead engine issues every unit up
+		// front, so the striped array streams them in parallel (each
+		// member disk serves its units sequentially through its FIFO);
+		// each completed unit is one disk DMA into memory.
+		var lastDone sim.Time
+		for u := 0; u < units; u++ {
+			done := array.Access(arrive, tableOffset+int64(u)*unitBytes, unitBytes)
+			start := frames + memsys.PageID(u*c.TransferPages)
+			tr.Records = append(tr.Records, trace.Record{
+				Time: done, Kind: trace.DMAWrite, Source: trace.SrcDisk,
+				Bus:   uint8(rng.Intn(c.Buses)),
+				Pages: uint16(c.TransferPages), Page: start,
+			})
+			if done > lastDone {
+				lastDone = done
+			}
+		}
+
+		// The aggregated result leaves over the network.
+		resultBytes := int64(float64(units) * float64(unitBytes) * c.ResultFraction)
+		resultPages := int(resultBytes / int64(c.PageBytes))
+		if resultPages < 1 {
+			resultPages = 1
+		}
+		if resultPages > 8 {
+			resultPages = 8
+		}
+		tr.Records = append(tr.Records, trace.Record{
+			Time: lastDone, Kind: trace.DMARead, Source: trace.SrcNetwork,
+			Bus:   uint8(rng.Intn(c.Buses)),
+			Pages: uint16(resultPages), Page: frames,
+		})
+		done := fabric.Reply(lastDone, resultBytes)
+		respSum += done.Sub(now)
+	}
+	tr.SortByTime()
+	tr.Records = tr.Clip(sim.Time(c.Duration)).Records
+	if res.Queries > 0 {
+		res.MeanResp = sim.Duration(int64(respSum) / res.Queries)
+		tr.Meta.MeanClientResponse = res.MeanResp
+		tr.Meta.TransfersPerClientRequest = float64(c.ScanPages / c.TransferPages)
+	}
+	return res, nil
+}

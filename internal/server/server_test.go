@@ -1,0 +1,378 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmamem/internal/memsys"
+	"dmamem/internal/sim"
+	"dmamem/internal/synth"
+	"dmamem/internal/trace"
+)
+
+func TestCacheBasics(t *testing.T) {
+	c, err := NewBufferCache(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := c.Lookup(1); ok {
+		t.Fatal("empty cache hit")
+	}
+	start := c.Insert(1, 4)
+	if start != 0 {
+		t.Fatalf("first insert at frame %d", start)
+	}
+	s, p, ok := c.Lookup(1)
+	if !ok || s != 0 || p != 4 {
+		t.Fatalf("lookup: %v %v %v", s, p, ok)
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+	if c.HitRatio() != 0.5 {
+		t.Fatalf("hit ratio %g", c.HitRatio())
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c, _ := NewBufferCache(8)
+	c.Insert(1, 4)
+	c.Insert(2, 4)
+	// Touch 1 so 2 becomes LRU.
+	c.Lookup(1)
+	c.Insert(3, 4) // must evict 2
+	if _, _, ok := c.Lookup(2); ok {
+		t.Fatal("LRU object survived")
+	}
+	if _, _, ok := c.Lookup(1); !ok {
+		t.Fatal("MRU object evicted")
+	}
+	if c.Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Evictions)
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheMultiEviction(t *testing.T) {
+	// Inserting a large object must evict as many small ones as needed
+	// and place it in a contiguous run.
+	c, _ := NewBufferCache(8)
+	for id := ObjectID(0); id < 8; id++ {
+		c.Insert(id, 1)
+	}
+	start := c.Insert(100, 6)
+	if start < 0 || int(start)+6 > 8 {
+		t.Fatalf("run out of range: %d", start)
+	}
+	if c.Len() > 3 {
+		t.Fatalf("len = %d after big insert", c.Len())
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheRemove(t *testing.T) {
+	c, _ := NewBufferCache(8)
+	c.Insert(1, 2)
+	if !c.Remove(1) {
+		t.Fatal("remove failed")
+	}
+	if c.Remove(1) {
+		t.Fatal("double remove succeeded")
+	}
+	if c.Len() != 0 {
+		t.Fatal("cache not empty")
+	}
+	if err := c.checkInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCachePanics(t *testing.T) {
+	c, _ := NewBufferCache(4)
+	c.Insert(1, 2)
+	for _, f := range []func(){
+		func() { c.Insert(1, 1) }, // already resident
+		func() { c.Insert(2, 5) }, // larger than cache
+		func() { c.Insert(3, 0) }, // zero pages
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+	if _, err := NewBufferCache(0); err == nil {
+		t.Error("zero-frame cache accepted")
+	}
+}
+
+// Property: after any sequence of inserts/lookups/removes the cache
+// invariants hold and no two objects overlap.
+func TestQuickCacheInvariants(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c, err := NewBufferCache(64)
+		if err != nil {
+			return false
+		}
+		for _, op := range ops {
+			id := ObjectID(op % 40)
+			switch (op >> 8) % 3 {
+			case 0:
+				if _, _, ok := c.Lookup(id); !ok {
+					c.Insert(id, 1+int(op%7))
+				}
+			case 1:
+				c.Lookup(id)
+			case 2:
+				c.Remove(id)
+			}
+			if c.checkInvariants() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func shortStorage() StorageConfig {
+	c := DefaultStorage()
+	c.Duration = 20 * sim.Millisecond
+	return c
+}
+
+func TestGenerateStorageShape(t *testing.T) {
+	res, err := GenerateStorage(shortStorage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Analyze(tr)
+	// Network transfers track the request rate: reads emit one net DMA,
+	// writes one net DMA; expect ~45/ms.
+	net := float64(s.NetTransfers) / (tr.Duration().Seconds() * 1e3)
+	if net < 35 || net > 55 {
+		t.Fatalf("net transfers = %.1f/ms, want ~45", net)
+	}
+	// Disk transfers come from read misses and write-throughs; the
+	// calibration targets the OLTP-St ballpark (16.7/ms +- 50%).
+	diskRate := float64(s.DiskTransfers) / (tr.Duration().Seconds() * 1e3)
+	if diskRate < 8 || diskRate > 30 {
+		t.Fatalf("disk transfers = %.1f/ms, want ~17", diskRate)
+	}
+	if s.ProcAccesses != 0 {
+		t.Fatal("storage trace should carry no processor accesses")
+	}
+	// Every record stays within the cache frame range.
+	for _, r := range tr.Records {
+		if int(r.Page)+int(r.Pages) > DefaultStorage().CacheFrames {
+			t.Fatalf("record outside memory: %+v", r)
+		}
+	}
+	if res.MeanResp <= 0 || tr.Meta.MeanClientResponse != res.MeanResp {
+		t.Fatalf("mean response not recorded: %v", res.MeanResp)
+	}
+	if tr.Meta.TransfersPerClientRequest < 1 || tr.Meta.TransfersPerClientRequest > 2 {
+		t.Fatalf("transfers per request = %g", tr.Meta.TransfersPerClientRequest)
+	}
+	if res.HitRatio <= 0 || res.HitRatio >= 1 {
+		t.Fatalf("hit ratio = %g", res.HitRatio)
+	}
+}
+
+func TestGenerateStoragePopularitySkew(t *testing.T) {
+	// The Figure 4 shape: top 20% of pages carry far more than 20% of
+	// accesses (paper: ~60%).
+	res, err := GenerateStorage(shortStorage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Analyze(res.Trace)
+	share := s.AccessShareOfTopPages(0.2)
+	if share < 0.4 || share > 0.95 {
+		t.Fatalf("top-20%% share = %g, want strong skew", share)
+	}
+}
+
+func TestGenerateStorageDeterminism(t *testing.T) {
+	cfg := shortStorage()
+	cfg.Duration = 5 * sim.Millisecond
+	a, err := GenerateStorage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateStorage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Trace.Records) != len(b.Trace.Records) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Trace.Records {
+		if a.Trace.Records[i] != b.Trace.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateStorageMissPathOrdering(t *testing.T) {
+	// With a tiny cache every read misses: each net DMA of an object
+	// must be preceded by a disk DMA for the same frames.
+	cfg := shortStorage()
+	cfg.Duration = 20 * sim.Millisecond
+	cfg.CacheFrames = 64
+	cfg.Objects = 10000
+	cfg.ReadFraction = 1.0
+	res, err := GenerateStorage(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HitRatio > 0.4 {
+		t.Fatalf("tiny cache should miss nearly always: hit ratio %g", res.HitRatio)
+	}
+	s := trace.Analyze(res.Trace)
+	// Most network DMAs ride on the miss path, so disk DMAs should be
+	// comparable in number (some trail past the horizon and are
+	// clipped).
+	if s.DiskTransfers < s.NetTransfers/2 {
+		t.Fatalf("miss path under-represented: disk=%d net=%d",
+			s.DiskTransfers, s.NetTransfers)
+	}
+	if res.MeanDisk < 500*sim.Microsecond {
+		t.Fatalf("mean disk latency %v implausibly small", res.MeanDisk)
+	}
+}
+
+func TestGenerateStorageValidation(t *testing.T) {
+	bad := DefaultStorage()
+	bad.RequestRatePerMs = 0
+	if _, err := GenerateStorage(bad); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad = DefaultStorage()
+	bad.ReadFraction = 2
+	if _, err := GenerateStorage(bad); err == nil {
+		t.Error("bad read fraction accepted")
+	}
+	bad = DefaultStorage()
+	bad.DiskCount = 0
+	if _, err := GenerateStorage(bad); err == nil {
+		t.Error("zero disks accepted")
+	}
+}
+
+func TestObjectPagesStable(t *testing.T) {
+	sizes := synth.DefaultSizes()
+	var w float64
+	for _, s := range sizes {
+		w += s.Weight
+	}
+	for id := ObjectID(0); id < 100; id++ {
+		a := objectPages(id, sizes, w)
+		b := objectPages(id, sizes, w)
+		if a != b {
+			t.Fatalf("object %d size not stable", id)
+		}
+		if a < 1 || a > 8 {
+			t.Fatalf("object %d size %d outside mixture", id, a)
+		}
+	}
+}
+
+func shortDatabase() DatabaseConfig {
+	c := DefaultDatabase()
+	c.Duration = 10 * sim.Millisecond
+	return c
+}
+
+func TestGenerateDatabaseShape(t *testing.T) {
+	res, err := GenerateDatabase(shortDatabase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := res.Trace
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Analyze(tr)
+	if s.DiskTransfers != 0 {
+		t.Fatal("database trace should carry no disk DMAs")
+	}
+	rate := s.TransfersPerMs()
+	if rate < 80 || rate > 120 {
+		t.Fatalf("transfer rate = %.1f/ms, want ~100", rate)
+	}
+	// ~233 processor accesses per transfer.
+	ppt := s.ProcAccessesPerTransfer()
+	if ppt < 150 || ppt > 320 {
+		t.Fatalf("proc per transfer = %.0f, want ~233", ppt)
+	}
+	if res.MeanResp <= 0 {
+		t.Fatal("no response time recorded")
+	}
+}
+
+func TestGenerateDatabaseDatasetMustFit(t *testing.T) {
+	cfg := shortDatabase()
+	cfg.Frames = 100 // far too small
+	if _, err := GenerateDatabase(cfg); err == nil {
+		t.Fatal("oversized dataset accepted")
+	}
+}
+
+func TestGenerateDatabaseValidation(t *testing.T) {
+	bad := DefaultDatabase()
+	bad.QueryRatePerMs = 0
+	if _, err := GenerateDatabase(bad); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad = DefaultDatabase()
+	bad.ProcAccessGap = 0
+	if _, err := GenerateDatabase(bad); err == nil {
+		t.Error("zero gap accepted")
+	}
+}
+
+func TestGenerateDatabasePagesInRange(t *testing.T) {
+	res, err := GenerateDatabase(shortDatabase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	max := memsys.PageID(DefaultDatabase().Frames)
+	for _, r := range res.Trace.Records {
+		if r.Page < 0 || r.Page >= max {
+			t.Fatalf("page %d out of range", r.Page)
+		}
+	}
+}
+
+func TestStorageMeanRespPlausible(t *testing.T) {
+	res, err := GenerateStorage(shortStorage())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Response times should be dominated by SAN + occasional disk:
+	// between 50 us and 50 ms on average.
+	if res.MeanResp < 50*sim.Microsecond || res.MeanResp > 50*sim.Millisecond {
+		t.Fatalf("mean response = %v", res.MeanResp)
+	}
+	if math.IsNaN(float64(res.MeanResp)) {
+		t.Fatal("NaN response")
+	}
+}

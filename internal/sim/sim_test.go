@@ -1,0 +1,329 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestUnits(t *testing.T) {
+	if Nanosecond != 1000 {
+		t.Fatalf("Nanosecond = %d, want 1000", Nanosecond)
+	}
+	if Second != 1e12 {
+		t.Fatalf("Second = %d, want 1e12", Second)
+	}
+	if got := FromNanoseconds(7.5); got != 7500 {
+		t.Fatalf("FromNanoseconds(7.5) = %d, want 7500", got)
+	}
+	if got := FromSeconds(1e-6); got != Microsecond {
+		t.Fatalf("FromSeconds(1e-6) = %d, want %d", got, Microsecond)
+	}
+	if got := Duration(2_500_000).Microseconds(); got != 2.5 {
+		t.Fatalf("Microseconds = %g, want 2.5", got)
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Time(100)
+	t1 := t0.Add(50)
+	if t1 != 150 {
+		t.Fatalf("Add: got %d", t1)
+	}
+	if d := t1.Sub(t0); d != 50 {
+		t.Fatalf("Sub: got %d", d)
+	}
+}
+
+func TestScheduleOrdering(t *testing.T) {
+	e := New()
+	var order []int
+	e.Schedule(30, func(*Engine) { order = append(order, 3) })
+	e.Schedule(10, func(*Engine) { order = append(order, 1) })
+	e.Schedule(20, func(*Engine) { order = append(order, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Fatalf("Now = %v, want 30", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(42, func(*Engine) { order = append(order, i) })
+	}
+	e.Run()
+	if !sort.IntsAreSorted(order) {
+		t.Fatalf("same-instant events fired out of scheduling order: %v", order)
+	}
+}
+
+func TestPriorityBeatsSeq(t *testing.T) {
+	e := New()
+	var order []string
+	e.SchedulePrio(5, 1, func(*Engine) { order = append(order, "timer") })
+	e.SchedulePrio(5, 0, func(*Engine) { order = append(order, "arrival") })
+	e.Run()
+	if len(order) != 2 || order[0] != "arrival" || order[1] != "timer" {
+		t.Fatalf("priority ordering broken: %v", order)
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	e := New()
+	e.Schedule(100, func(*Engine) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(50, func(*Engine) {})
+}
+
+func TestScheduleNilPanics(t *testing.T) {
+	e := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil handler did not panic")
+		}
+	}()
+	e.Schedule(1, nil)
+}
+
+func TestCancel(t *testing.T) {
+	e := New()
+	fired := false
+	id := e.Schedule(10, func(*Engine) { fired = true })
+	if !id.Valid() {
+		t.Fatal("id should be valid before firing")
+	}
+	if !e.Cancel(id) {
+		t.Fatal("first cancel should succeed")
+	}
+	if e.Cancel(id) {
+		t.Fatal("second cancel should fail")
+	}
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestCancelAfterFire(t *testing.T) {
+	e := New()
+	id := e.Schedule(10, func(*Engine) {})
+	e.Run()
+	if id.Valid() {
+		t.Fatal("id still valid after firing")
+	}
+	if e.Cancel(id) {
+		t.Fatal("cancel after fire should be a no-op")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	e := New()
+	var got []int
+	var ids []EventID
+	for i := 0; i < 20; i++ {
+		i := i
+		ids = append(ids, e.Schedule(Time(i*10), func(*Engine) { got = append(got, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		e.Cancel(ids[i])
+	}
+	e.Run()
+	for _, v := range got {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("remaining events out of order: %v", got)
+	}
+}
+
+func TestAfter(t *testing.T) {
+	e := New()
+	var at Time
+	e.Schedule(100, func(e *Engine) {
+		e.After(25, func(e *Engine) { at = e.Now() })
+	})
+	e.Run()
+	if at != 125 {
+		t.Fatalf("After fired at %v, want 125", at)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.Schedule(at, func(*Engine) { fired = append(fired, at) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want 2 events", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("clock = %v, want 25", e.Now())
+	}
+	e.RunUntil(100)
+	if len(fired) != 4 {
+		t.Fatalf("fired %v after second run", fired)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := New()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		e.Schedule(Time(i), func(e *Engine) {
+			n++
+			if n == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if n != 3 {
+		t.Fatalf("dispatched %d events, want 3", n)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	n := 0
+	e.Schedule(1, func(*Engine) { n++ })
+	e.Schedule(2, func(*Engine) { n++ })
+	if !e.Step() || n != 1 {
+		t.Fatalf("first step: n=%d", n)
+	}
+	if !e.Step() || n != 2 {
+		t.Fatalf("second step: n=%d", n)
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue returned true")
+	}
+}
+
+func TestSteps(t *testing.T) {
+	e := New()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func(*Engine) {})
+	}
+	e.Run()
+	if e.Steps() != 5 {
+		t.Fatalf("Steps = %d, want 5", e.Steps())
+	}
+}
+
+func TestSelfRescheduling(t *testing.T) {
+	e := New()
+	count := 0
+	var tick Handler
+	tick = func(e *Engine) {
+		count++
+		if count < 100 {
+			e.After(10, tick)
+		}
+	}
+	e.Schedule(0, tick)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 990 {
+		t.Fatalf("clock = %v, want 990", e.Now())
+	}
+}
+
+// Property: events fire in nondecreasing time order regardless of the
+// order in which they were scheduled.
+func TestQuickOrdering(t *testing.T) {
+	f := func(times []uint16) bool {
+		e := New()
+		var fired []Time
+		for _, raw := range times {
+			at := Time(raw)
+			e.Schedule(at, func(e *Engine) { fired = append(fired, e.Now()) })
+		}
+		e.Run()
+		if len(fired) != len(times) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cancelling a random subset leaves exactly the complement to
+// fire, still in order.
+func TestQuickCancelSubset(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := New()
+		fired := map[int]bool{}
+		ids := make([]EventID, n)
+		for i := 0; i < int(n); i++ {
+			i := i
+			ids[i] = e.Schedule(Time(rng.Intn(1000)), func(*Engine) { fired[i] = true })
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < int(n); i++ {
+			if rng.Intn(2) == 0 {
+				e.Cancel(ids[i])
+				cancelled[i] = true
+			}
+		}
+		e.Run()
+		for i := 0; i < int(n); i++ {
+			if fired[i] == cancelled[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleRun(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		var tick Handler
+		n := 0
+		tick = func(e *Engine) {
+			n++
+			if n < 1000 {
+				e.After(10, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+	}
+}

@@ -1,0 +1,246 @@
+package synth
+
+import (
+	"fmt"
+
+	"dmamem/internal/memsys"
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+// SizeClass is one entry of a transfer-size mixture: a transfer of
+// Pages pages drawn with relative Weight.
+type SizeClass struct {
+	Pages  int
+	Weight float64
+}
+
+// DefaultSizes is the transfer-size distribution used by default:
+// single 8 KB blocks, the transfer size of the paper's data-server
+// path (Section 2.1: "one or two large DMA data transfers of 8
+// Kbytes"). Uniform sizes also keep aligned streams in lockstep until
+// the end of the transfers, as in Figure 3.
+func DefaultSizes() []SizeClass {
+	return []SizeClass{{1, 1.0}}
+}
+
+// MixedSizes is a multi-block mixture (mean 1.5 pages) for the
+// sensitivity study on transfer-size variance: unequal members of a
+// gathered group fall out of lockstep when the short ones finish,
+// which measurably weakens temporal alignment.
+func MixedSizes() []SizeClass {
+	return []SizeClass{{1, 0.70}, {2, 0.20}, {4, 0.10}}
+}
+
+type sizeSampler struct {
+	classes []SizeClass
+	cum     []float64
+}
+
+func newSizeSampler(classes []SizeClass) *sizeSampler {
+	if len(classes) == 0 {
+		panic("synth: empty size mixture")
+	}
+	s := &sizeSampler{classes: classes, cum: make([]float64, len(classes))}
+	total := 0.0
+	for i, c := range classes {
+		if c.Pages <= 0 || c.Pages > 1<<15 || c.Weight <= 0 {
+			panic(fmt.Sprintf("synth: bad size class %+v", c))
+		}
+		total += c.Weight
+		s.cum[i] = total
+	}
+	for i := range s.cum {
+		s.cum[i] /= total
+	}
+	s.cum[len(s.cum)-1] = 1
+	return s
+}
+
+func (s *sizeSampler) sample(r *RNG) int {
+	u := r.Float64()
+	for i, c := range s.cum {
+		if u <= c {
+			return s.classes[i].Pages
+		}
+	}
+	return s.classes[len(s.classes)-1].Pages
+}
+
+// StConfig parameterizes the Synthetic-St storage-server trace: DMA
+// transfers only, Poisson arrivals, Zipf page popularity.
+type StConfig struct {
+	Seed     uint64
+	Duration sim.Duration
+	// RatePerMs is the total Poisson DMA transfer arrival rate
+	// (default 100/ms as in the paper).
+	RatePerMs float64
+	// DiskFraction of transfers are disk DMAs; the rest are network.
+	DiskFraction float64
+	// Pages is the page population (working set) size.
+	Pages int
+	// Alpha is the Zipf skew (paper: 1.0).
+	Alpha float64
+	// Sizes is the transfer-size mixture; nil means DefaultSizes.
+	Sizes []SizeClass
+	// Buses is the number of I/O buses DMA engines are spread over.
+	Buses int
+}
+
+// DefaultSt returns the paper's Synthetic-St parameters over a 100 ms
+// window.
+func DefaultSt() StConfig {
+	return StConfig{
+		Seed:         1,
+		Duration:     100 * sim.Millisecond,
+		RatePerMs:    100,
+		DiskFraction: 0.27, // matches OLTP-St's 16.7 of 61.7 transfers/ms
+		Pages:        memsys.Default().TotalPages(),
+		Alpha:        1.0,
+		Buses:        3,
+	}
+}
+
+func (c StConfig) validate() error {
+	switch {
+	case c.Duration <= 0:
+		return fmt.Errorf("synth: nonpositive duration %v", c.Duration)
+	case c.RatePerMs <= 0:
+		return fmt.Errorf("synth: nonpositive rate %g", c.RatePerMs)
+	case c.DiskFraction < 0 || c.DiskFraction > 1:
+		return fmt.Errorf("synth: disk fraction %g outside [0,1]", c.DiskFraction)
+	case c.Pages <= 0:
+		return fmt.Errorf("synth: nonpositive page population %d", c.Pages)
+	case c.Buses <= 0 || c.Buses > 255:
+		return fmt.Errorf("synth: bus count %d", c.Buses)
+	}
+	return nil
+}
+
+// GenerateSt produces a Synthetic-St trace. Page popularity is Zipf
+// over a randomly permuted page population, so hot pages are scattered
+// through the physical address space (the layout technique, not the
+// generator, is responsible for clustering them).
+func GenerateSt(c StConfig) (*trace.Trace, error) {
+	if err := c.validate(); err != nil {
+		return nil, err
+	}
+	if c.Sizes == nil {
+		c.Sizes = DefaultSizes()
+	}
+	rng := NewRNG(c.Seed)
+	zipf := NewZipf(c.Pages, c.Alpha)
+	perm := rng.Perm(c.Pages)
+	sizes := newSizeSampler(c.Sizes)
+
+	tr := &trace.Trace{Name: "Synthetic-St"}
+	// Synthetic workloads have no server model behind them; declare the
+	// assumed client-perceived response time the CP-Limit transform
+	// should calibrate against (a typical 1 ms data-server budget).
+	tr.Meta.MeanClientResponse = sim.Millisecond
+	tr.Meta.TransfersPerClientRequest = 1
+	meanGap := 1e-3 / c.RatePerMs // seconds between transfers
+	now := sim.Time(0)
+	for {
+		now = now.Add(sim.FromSeconds(rng.Exp(meanGap)))
+		if now > sim.Time(c.Duration) {
+			break
+		}
+		kind, src := trace.DMARead, trace.SrcNetwork
+		if rng.Float64() < c.DiskFraction {
+			kind, src = trace.DMAWrite, trace.SrcDisk
+		}
+		pages := sizes.sample(rng)
+		start := perm[zipf.Sample(rng)]
+		if start+pages > c.Pages {
+			start = c.Pages - pages
+		}
+		tr.Records = append(tr.Records, trace.Record{
+			Time:   now,
+			Kind:   kind,
+			Source: src,
+			Bus:    uint8(rng.Intn(c.Buses)),
+			Pages:  uint16(pages),
+			Page:   memsys.PageID(start),
+		})
+	}
+	return tr, nil
+}
+
+// DbConfig parameterizes the Synthetic-Db database-server trace:
+// network DMAs plus processor cache-line accesses.
+type DbConfig struct {
+	St StConfig
+	// ProcRatePerMs is the Poisson processor-access rate (paper:
+	// 10000/ms). Ignored when ProcPerTransfer > 0.
+	ProcRatePerMs float64
+	// ProcPerTransfer, when positive, injects exactly this many
+	// processor accesses per DMA transfer (the Figure 9 sweep).
+	ProcPerTransfer int
+}
+
+// DefaultDb returns the paper's Synthetic-Db parameters.
+func DefaultDb() DbConfig {
+	st := DefaultSt()
+	st.Seed = 2
+	st.DiskFraction = 0 // database trace: network DMAs only
+	return DbConfig{St: st, ProcRatePerMs: 10000}
+}
+
+// GenerateDb produces a Synthetic-Db trace: the St DMA stream plus
+// processor accesses. Processor accesses follow the same Zipf
+// popularity (the bufferpool's hot pages are hot for the CPU too).
+func GenerateDb(c DbConfig) (*trace.Trace, error) {
+	dmaTr, err := GenerateSt(c.St)
+	if err != nil {
+		return nil, err
+	}
+	dmaTr.Name = "Synthetic-Db"
+	rng := NewRNG(c.St.Seed ^ 0xdb)
+	zipf := NewZipf(c.St.Pages, c.St.Alpha)
+	perm := NewRNG(c.St.Seed).Perm(c.St.Pages) // same permutation as the DMA side
+
+	proc := &trace.Trace{}
+	if c.ProcPerTransfer > 0 {
+		// Figure 9 mode: a burst of accesses around each transfer,
+		// targeting the transferred pages (the CPU processes what the
+		// DMA moved) spread across the transfer's duration scale.
+		for _, r := range dmaTr.Records {
+			for i := 0; i < c.ProcPerTransfer; i++ {
+				off := sim.Duration(rng.Exp(2e-6)) // ~2 us spread
+				page := int(r.Page) + rng.Intn(int(r.Pages))
+				proc.Records = append(proc.Records, trace.Record{
+					Time:   r.Time.Add(off),
+					Kind:   procKind(rng),
+					Source: trace.SrcProcessor,
+					Page:   memsys.PageID(page),
+				})
+			}
+		}
+	} else if c.ProcRatePerMs > 0 {
+		meanGap := 1e-3 / c.ProcRatePerMs
+		now := sim.Time(0)
+		for {
+			now = now.Add(sim.FromSeconds(rng.Exp(meanGap)))
+			if now > sim.Time(c.St.Duration) {
+				break
+			}
+			proc.Records = append(proc.Records, trace.Record{
+				Time:   now,
+				Kind:   procKind(rng),
+				Source: trace.SrcProcessor,
+				Page:   memsys.PageID(perm[zipf.Sample(rng)]),
+			})
+		}
+	}
+	out := trace.Merge("Synthetic-Db", dmaTr, proc)
+	out.Meta = dmaTr.Meta
+	return out, nil
+}
+
+func procKind(r *RNG) trace.Kind {
+	if r.Float64() < 0.5 {
+		return trace.ProcRead
+	}
+	return trace.ProcWrite
+}

@@ -1,0 +1,369 @@
+package synth
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a2 := NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %g", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(7)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	if mean := sum / n; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %g, want ~0.5", mean)
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(1)
+	seen := map[int]bool{}
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Fatalf("only saw %d of 7 values", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(3)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Exp(2.5)
+	}
+	if mean := sum / n; math.Abs(mean-2.5) > 0.05 {
+		t.Fatalf("exp mean = %g, want ~2.5", mean)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Exp(0) did not panic")
+		}
+	}()
+	r.Exp(0)
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(5)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestZipfBasics(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	if z.N() != 100 {
+		t.Fatalf("N = %d", z.N())
+	}
+	// Probabilities must decrease with rank and sum to 1.
+	sum := 0.0
+	prev := math.Inf(1)
+	for i := 0; i < 100; i++ {
+		p := z.Prob(i)
+		if p > prev {
+			t.Fatalf("probability increased at rank %d", i)
+		}
+		prev = p
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("probabilities sum to %g", sum)
+	}
+	// Rank 0 of Zipf(1) over 100 elements has p = 1/H(100) ~ 0.1928.
+	if math.Abs(z.Prob(0)-0.1928) > 0.001 {
+		t.Fatalf("p(0) = %g", z.Prob(0))
+	}
+}
+
+func TestZipfSampleDistribution(t *testing.T) {
+	z := NewZipf(50, 1.0)
+	r := NewRNG(11)
+	counts := make([]int, 50)
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Empirical frequency of rank 0 should match its probability.
+	want := z.Prob(0)
+	got := float64(counts[0]) / n
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("rank-0 freq = %g, want ~%g", got, want)
+	}
+	// Heavier ranks must (statistically) dominate much lighter ones.
+	if counts[0] < counts[40] {
+		t.Fatal("rank 0 less frequent than rank 40")
+	}
+}
+
+func TestZipfUniform(t *testing.T) {
+	z := NewZipf(10, 0) // alpha 0 = uniform
+	for i := 1; i < 10; i++ {
+		if math.Abs(z.Prob(i)-0.1) > 1e-9 {
+			t.Fatalf("uniform prob(%d) = %g", i, z.Prob(i))
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(10, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: Zipf samples are always valid ranks.
+func TestQuickZipfRange(t *testing.T) {
+	f := func(seed uint64, n16 uint16) bool {
+		n := 1 + int(n16)%1000
+		z := NewZipf(n, 1.0)
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			s := z.Sample(r)
+			if s < 0 || s >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateStProperties(t *testing.T) {
+	cfg := DefaultSt()
+	cfg.Duration = 20 * sim.Millisecond
+	tr, err := GenerateSt(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Analyze(tr)
+	// Poisson(100/ms) over 20 ms: expect ~2000 transfers; allow 4 sigma.
+	if s.DMATransfers < 1800 || s.DMATransfers > 2200 {
+		t.Fatalf("transfers = %d, want ~2000", s.DMATransfers)
+	}
+	if s.ProcAccesses != 0 {
+		t.Fatal("storage trace should have no processor accesses")
+	}
+	// Disk fraction ~27%.
+	diskFrac := float64(s.DiskTransfers) / float64(s.DMATransfers)
+	if math.Abs(diskFrac-0.27) > 0.05 {
+		t.Fatalf("disk fraction = %g", diskFrac)
+	}
+	// Zipf(1) popularity skew: top 20%% of touched pages should carry
+	// well over 20%% of accesses.
+	if share := s.AccessShareOfTopPages(0.2); share < 0.4 {
+		t.Fatalf("top-20%% share = %g, want skewed", share)
+	}
+	// Bus spread: all three buses used.
+	buses := map[uint8]bool{}
+	for _, r := range tr.Records {
+		buses[r.Bus] = true
+		if int(r.Page)+int(r.Pages) > cfg.Pages {
+			t.Fatalf("record overruns page population: %+v", r)
+		}
+	}
+	if len(buses) != 3 {
+		t.Fatalf("used %d buses", len(buses))
+	}
+}
+
+func TestGenerateStDeterminism(t *testing.T) {
+	cfg := DefaultSt()
+	cfg.Duration = 5 * sim.Millisecond
+	a, err := GenerateSt(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateSt(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatal("nondeterministic record count")
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}
+
+func TestGenerateStValidation(t *testing.T) {
+	bad := DefaultSt()
+	bad.RatePerMs = 0
+	if _, err := GenerateSt(bad); err == nil {
+		t.Error("zero rate accepted")
+	}
+	bad = DefaultSt()
+	bad.Duration = 0
+	if _, err := GenerateSt(bad); err == nil {
+		t.Error("zero duration accepted")
+	}
+	bad = DefaultSt()
+	bad.DiskFraction = 1.5
+	if _, err := GenerateSt(bad); err == nil {
+		t.Error("bad disk fraction accepted")
+	}
+	bad = DefaultSt()
+	bad.Pages = 0
+	if _, err := GenerateSt(bad); err == nil {
+		t.Error("zero pages accepted")
+	}
+}
+
+func TestGenerateDb(t *testing.T) {
+	cfg := DefaultDb()
+	cfg.St.Duration = 10 * sim.Millisecond
+	tr, err := GenerateDb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Analyze(tr)
+	// 10000 proc accesses/ms over 10 ms: ~100k.
+	if s.ProcAccesses < 90000 || s.ProcAccesses > 110000 {
+		t.Fatalf("proc accesses = %d, want ~100000", s.ProcAccesses)
+	}
+	if s.DiskTransfers != 0 {
+		t.Fatal("database trace should have no disk DMAs")
+	}
+	if s.DMATransfers == 0 {
+		t.Fatal("no DMA transfers")
+	}
+}
+
+func TestGenerateDbProcPerTransfer(t *testing.T) {
+	cfg := DefaultDb()
+	cfg.St.Duration = 5 * sim.Millisecond
+	cfg.ProcPerTransfer = 50
+	tr, err := GenerateDb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := trace.Analyze(tr)
+	if got := s.ProcAccessesPerTransfer(); math.Abs(got-50) > 0.5 {
+		t.Fatalf("proc per transfer = %g, want 50", got)
+	}
+}
+
+func TestGenerateDbNoProc(t *testing.T) {
+	cfg := DefaultDb()
+	cfg.St.Duration = 2 * sim.Millisecond
+	cfg.ProcRatePerMs = 0
+	tr, err := GenerateDb(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Analyze(tr).ProcAccesses != 0 {
+		t.Fatal("expected no proc accesses")
+	}
+}
+
+func TestSizeSampler(t *testing.T) {
+	s := newSizeSampler([]SizeClass{{1, 1}, {4, 1}})
+	r := NewRNG(9)
+	counts := map[int]int{}
+	for i := 0; i < 10000; i++ {
+		counts[s.sample(r)]++
+	}
+	if counts[1] == 0 || counts[4] == 0 {
+		t.Fatalf("sampler ignored a class: %v", counts)
+	}
+	ratio := float64(counts[1]) / float64(counts[4])
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Fatalf("equal weights gave ratio %g", ratio)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad size class accepted")
+		}
+	}()
+	newSizeSampler([]SizeClass{{0, 1}})
+}
+
+func TestDefaultSizesMean(t *testing.T) {
+	// The default matches the paper's 8 KB transfers exactly; the
+	// mixed distribution for the sensitivity study averages a few
+	// pages.
+	mean := func(classes []SizeClass) float64 {
+		m, total := 0.0, 0.0
+		for _, c := range classes {
+			m += float64(c.Pages) * c.Weight
+			total += c.Weight
+		}
+		return m / total
+	}
+	if got := mean(DefaultSizes()); got != 1 {
+		t.Fatalf("default mean transfer size = %g pages, want 1", got)
+	}
+	if got := mean(MixedSizes()); got < 1.3 || got > 6 {
+		t.Fatalf("mixed mean transfer size = %g pages", got)
+	}
+}

@@ -1,0 +1,384 @@
+package trace
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"dmamem/internal/memsys"
+	"dmamem/internal/sim"
+)
+
+func sampleTrace() *Trace {
+	return &Trace{
+		Name: "sample",
+		Records: []Record{
+			{Time: 0, Kind: DMAWrite, Source: SrcDisk, Bus: 1, Pages: 2, Page: 10},
+			{Time: 1000, Kind: ProcRead, Source: SrcProcessor, Page: 10},
+			{Time: 2000, Kind: DMARead, Source: SrcNetwork, Bus: 0, Pages: 1, Page: 11},
+			{Time: 2000, Kind: ProcWrite, Source: SrcProcessor, Page: 12},
+			{Time: 5000, Kind: DMARead, Source: SrcNetwork, Bus: 2, Pages: 4, Page: 10},
+		},
+	}
+}
+
+func TestKindAndSourceStrings(t *testing.T) {
+	if DMARead.String() != "dma-read" || ProcWrite.String() != "proc-write" {
+		t.Error("kind names wrong")
+	}
+	if SrcNetwork.String() != "net" || SrcDisk.String() != "disk" {
+		t.Error("source names wrong")
+	}
+	if !DMARead.IsDMA() || !DMAWrite.IsDMA() || ProcRead.IsDMA() {
+		t.Error("IsDMA wrong")
+	}
+	if Kind(9).String() == "" || Source(9).String() == "" {
+		t.Error("unknown enums should still render")
+	}
+}
+
+func TestRecordBytes(t *testing.T) {
+	r := Record{Kind: DMAWrite, Pages: 3}
+	if r.Bytes(8192) != 3*8192 {
+		t.Errorf("DMA bytes = %d", r.Bytes(8192))
+	}
+	p := Record{Kind: ProcRead}
+	if p.Bytes(8192) != 64 {
+		t.Errorf("proc bytes = %d", p.Bytes(8192))
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tr := sampleTrace()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := &Trace{Records: []Record{{Time: 10}, {Time: 5}}}
+	if bad.Validate() == nil {
+		t.Error("out-of-order trace accepted")
+	}
+	zero := &Trace{Records: []Record{{Time: 0, Kind: DMARead, Pages: 0}}}
+	if zero.Validate() == nil {
+		t.Error("zero-page DMA accepted")
+	}
+	badKind := &Trace{Records: []Record{{Time: 0, Kind: Kind(200), Pages: 1}}}
+	if badKind.Validate() == nil {
+		t.Error("invalid kind accepted")
+	}
+}
+
+func TestDurationAndClip(t *testing.T) {
+	tr := sampleTrace()
+	if tr.Duration() != 5000 {
+		t.Errorf("Duration = %v", tr.Duration())
+	}
+	clipped := tr.Clip(2000)
+	if len(clipped.Records) != 2 {
+		t.Errorf("Clip kept %d records, want 2", len(clipped.Records))
+	}
+	if (&Trace{}).Duration() != 0 {
+		t.Error("empty trace duration")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &Trace{Records: []Record{
+		{Time: 0, Kind: DMARead, Pages: 1, Page: 1},
+		{Time: 100, Kind: DMARead, Pages: 1, Page: 2},
+	}}
+	b := &Trace{Records: []Record{
+		{Time: 50, Kind: DMAWrite, Pages: 1, Page: 3},
+		{Time: 100, Kind: ProcRead, Page: 4},
+	}}
+	m := Merge("m", a, b)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Records) != 4 {
+		t.Fatalf("merged %d records", len(m.Records))
+	}
+	if m.Records[1].Page != 3 {
+		t.Errorf("merge order wrong: %+v", m.Records)
+	}
+	// Stability: equal-time records keep source order (a before b).
+	if m.Records[2].Page != 2 || m.Records[3].Page != 4 {
+		t.Errorf("merge not stable: %+v", m.Records[2:])
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.Records, tr.Records)
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := ReadBinary(bytes.NewReader(make([]byte, 14))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	var buf bytes.Buffer
+	_ = sampleTrace().WriteBinary(&buf)
+	truncated := buf.Bytes()[:buf.Len()-3]
+	if _, err := ReadBinary(bytes.NewReader(truncated)); err == nil {
+		t.Error("truncated input accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var buf bytes.Buffer
+	if err := tr.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Records, tr.Records) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got.Records, tr.Records)
+	}
+}
+
+func TestTextErrors(t *testing.T) {
+	if _, err := ReadText(strings.NewReader("not a record\n")); err == nil {
+		t.Error("garbage line accepted")
+	}
+	if _, err := ReadText(strings.NewReader("1 dma-bogus net 0 1 2\n")); err == nil {
+		t.Error("bad kind accepted")
+	}
+	if _, err := ReadText(strings.NewReader("1 dma-read mars 0 1 2\n")); err == nil {
+		t.Error("bad source accepted")
+	}
+	got, err := ReadText(strings.NewReader("\n\n"))
+	if err != nil || len(got.Records) != 0 {
+		t.Error("blank lines should be skipped")
+	}
+}
+
+// Property: binary round trip is lossless for arbitrary record
+// contents.
+func TestQuickBinaryRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{}
+		now := sim.Time(0)
+		for i := 0; i < int(n); i++ {
+			now = now.Add(sim.Duration(rng.Intn(10000)))
+			tr.Records = append(tr.Records, Record{
+				Time:   now,
+				Kind:   Kind(rng.Intn(int(numKinds))),
+				Source: Source(rng.Intn(int(numSources))),
+				Bus:    uint8(rng.Intn(4)),
+				Pages:  uint16(1 + rng.Intn(16)),
+				Page:   memsys.PageID(rng.Intn(1 << 20)),
+			})
+		}
+		var buf bytes.Buffer
+		if err := tr.WriteBinary(&buf); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Records) != len(tr.Records) {
+			return false
+		}
+		for i := range got.Records {
+			if got.Records[i] != tr.Records[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	tr := sampleTrace()
+	s := Analyze(tr)
+	if s.DMATransfers != 3 || s.NetTransfers != 2 || s.DiskTransfers != 1 {
+		t.Errorf("transfer counts: %+v", s)
+	}
+	if s.ProcAccesses != 2 {
+		t.Errorf("proc accesses = %d", s.ProcAccesses)
+	}
+	if s.DMAPages != 7 {
+		t.Errorf("dma pages = %d", s.DMAPages)
+	}
+	// Pages touched: 10,11 (disk write), 11 (net), 10,11,12,13 (net 4p).
+	if s.DistinctPages != 4 {
+		t.Errorf("distinct pages = %d", s.DistinctPages)
+	}
+	if s.PopularityCount(10) != 2 || s.PopularityCount(11) != 3 {
+		t.Errorf("popularity: p10=%d p11=%d", s.PopularityCount(10), s.PopularityCount(11))
+	}
+	if got := s.MeanTransferPages(); got != 7.0/3.0 {
+		t.Errorf("mean transfer pages = %g", got)
+	}
+	if s.ProcAccessesPerTransfer() != 2.0/3.0 {
+		t.Errorf("proc per transfer = %g", s.ProcAccessesPerTransfer())
+	}
+	if s.String() == "" {
+		t.Error("empty summary")
+	}
+}
+
+func TestStatsRates(t *testing.T) {
+	tr := &Trace{Records: []Record{
+		{Time: 0, Kind: DMARead, Source: SrcNetwork, Pages: 1},
+		{Time: sim.Time(1 * sim.Millisecond), Kind: DMARead, Source: SrcNetwork, Pages: 1},
+	}}
+	s := Analyze(tr)
+	if got := s.TransfersPerMs(); got != 2.0 {
+		t.Errorf("TransfersPerMs = %g, want 2", got)
+	}
+}
+
+func TestPopularityCDF(t *testing.T) {
+	// 4 pages with counts 70, 20, 9, 1.
+	tr := &Trace{}
+	counts := map[memsys.PageID]int{0: 70, 1: 20, 2: 9, 3: 1}
+	now := sim.Time(0)
+	for p, c := range counts {
+		for i := 0; i < c; i++ {
+			tr.Records = append(tr.Records, Record{Time: now, Kind: DMARead, Pages: 1, Page: p})
+			now++
+		}
+	}
+	s := Analyze(tr)
+	pts := s.PopularityCDF(4)
+	if len(pts) != 4 {
+		t.Fatalf("got %d points: %+v", len(pts), pts)
+	}
+	// Top 25% of pages (1 page) should have 70% of accesses.
+	if pts[0].PageFrac != 0.25 || pts[0].AccessFrac != 0.70 {
+		t.Errorf("first point = %+v", pts[0])
+	}
+	last := pts[len(pts)-1]
+	if last.PageFrac != 1.0 || last.AccessFrac != 1.0 {
+		t.Errorf("last point = %+v", last)
+	}
+	if got := s.AccessShareOfTopPages(0.25); got != 0.70 {
+		t.Errorf("top-25%% share = %g", got)
+	}
+	if got := s.AccessShareOfTopPages(0.5); got != 0.90 {
+		t.Errorf("top-50%% share = %g", got)
+	}
+}
+
+// Property: the popularity CDF is monotone, ends at (1,1), and is
+// concave-ish (access fraction >= page fraction everywhere since pages
+// are sorted by decreasing popularity).
+func TestQuickCDFInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tr := &Trace{}
+		now := sim.Time(0)
+		nPages := 1 + rng.Intn(50)
+		for i := 0; i < 500; i++ {
+			now++
+			tr.Records = append(tr.Records, Record{
+				Time: now, Kind: DMARead, Pages: 1,
+				Page: memsys.PageID(rng.Intn(nPages)),
+			})
+		}
+		s := Analyze(tr)
+		pts := s.PopularityCDF(10)
+		if len(pts) == 0 {
+			return false
+		}
+		prev := CDFPoint{}
+		for _, p := range pts {
+			if p.PageFrac < prev.PageFrac || p.AccessFrac < prev.AccessFrac {
+				return false
+			}
+			if p.AccessFrac < p.PageFrac-1e-9 {
+				return false
+			}
+			prev = p
+		}
+		last := pts[len(pts)-1]
+		return last.PageFrac == 1 && last.AccessFrac == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInterArrivalCV(t *testing.T) {
+	// Perfectly periodic arrivals: CV ~ 0.
+	periodic := &Trace{}
+	for i := 0; i < 100; i++ {
+		periodic.Records = append(periodic.Records, Record{
+			Time: sim.Time(i) * sim.Time(sim.Microsecond), Kind: DMARead, Pages: 1,
+		})
+	}
+	if cv := Analyze(periodic).InterArrivalCV(); cv > 0.01 {
+		t.Fatalf("periodic CV = %g", cv)
+	}
+	// Bursty arrivals (pairs): CV near 1.
+	bursty := &Trace{}
+	now := sim.Time(0)
+	for i := 0; i < 100; i++ {
+		gap := sim.Duration(10 * sim.Nanosecond)
+		if i%2 == 0 {
+			gap = 2 * sim.Microsecond
+		}
+		now = now.Add(gap)
+		bursty.Records = append(bursty.Records, Record{Time: now, Kind: DMARead, Pages: 1})
+	}
+	if cv := Analyze(bursty).InterArrivalCV(); cv < 0.5 {
+		t.Fatalf("bursty CV = %g", cv)
+	}
+	if (&Stats{}).InterArrivalCV() != 0 {
+		t.Fatal("empty stats CV")
+	}
+}
+
+func TestChipLoadCV(t *testing.T) {
+	// All traffic on pages mapping to one chip: very skewed.
+	skewed := &Trace{}
+	for i := 0; i < 64; i++ {
+		skewed.Records = append(skewed.Records, Record{
+			Time: sim.Time(i), Kind: DMARead, Pages: 1, Page: memsys.PageID(i * 32),
+		})
+	}
+	s := Analyze(skewed)
+	if cv := s.ChipLoadCV(32); cv < 3 {
+		t.Fatalf("one-chip load CV = %g, want >> 1", cv)
+	}
+	// Uniform spread: CV ~ 0.
+	uniform := &Trace{}
+	for i := 0; i < 320; i++ {
+		uniform.Records = append(uniform.Records, Record{
+			Time: sim.Time(i), Kind: DMARead, Pages: 1, Page: memsys.PageID(i),
+		})
+	}
+	if cv := Analyze(uniform).ChipLoadCV(32); cv > 0.01 {
+		t.Fatalf("uniform load CV = %g", cv)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero chips accepted")
+		}
+	}()
+	s.ChipLoadCV(0)
+}

@@ -1,0 +1,280 @@
+package dmamem
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"dmamem/internal/memsys"
+	"dmamem/internal/server"
+	"dmamem/internal/sim"
+	"dmamem/internal/synth"
+	"dmamem/internal/trace"
+)
+
+// Trace is a time-ordered memory-access trace: DMA transfers from
+// network and disk plus processor cache-line accesses. Obtain one from
+// the synthetic generators, the server workload models, ReadTrace, or
+// build one record at a time with AppendDMA/AppendProcessorAccess.
+type Trace struct {
+	t *trace.Trace
+}
+
+// Name returns the trace's label.
+func (tr *Trace) Name() string { return tr.t.Name }
+
+// Len returns the number of records.
+func (tr *Trace) Len() int { return len(tr.t.Records) }
+
+// Duration returns the simulated span the trace covers.
+func (tr *Trace) Duration() time.Duration {
+	return time.Duration(tr.t.Duration().Seconds() * float64(time.Second))
+}
+
+// Summary returns a human-readable Table 2 style description.
+func (tr *Trace) Summary() string { return trace.Analyze(tr.t).String() }
+
+// Burstiness returns the coefficient of variation of DMA inter-arrival
+// times: ~1 for Poisson arrivals, higher for bursty traffic.
+func (tr *Trace) Burstiness() float64 {
+	return trace.Analyze(tr.t).InterArrivalCV()
+}
+
+// ChipLoadSkew returns the coefficient of variation of per-chip DMA
+// load under the baseline interleaved layout: 0 for perfectly even
+// load, higher when some chips are naturally much hotter.
+func (tr *Trace) ChipLoadSkew() float64 {
+	chips, _, _ := MemoryGeometry()
+	return trace.Analyze(tr.t).ChipLoadCV(chips)
+}
+
+// PopularityCurve returns the Figure 4 CDF: point i means the hottest
+// PageFrac of pages receives AccessFrac of the DMA accesses.
+func (tr *Trace) PopularityCurve(points int) []struct{ PageFrac, AccessFrac float64 } {
+	pts := trace.Analyze(tr.t).PopularityCDF(points)
+	out := make([]struct{ PageFrac, AccessFrac float64 }, len(pts))
+	for i, p := range pts {
+		out[i].PageFrac = p.PageFrac
+		out[i].AccessFrac = p.AccessFrac
+	}
+	return out
+}
+
+// NewTrace returns an empty trace for manual construction.
+func NewTrace(name string) *Trace {
+	return &Trace{t: &trace.Trace{Name: name}}
+}
+
+// DMASource identifies which device class performs a transfer.
+type DMASource int
+
+const (
+	// FromNetwork marks NIC-initiated transfers.
+	FromNetwork DMASource = iota
+	// FromDisk marks disk-initiated transfers.
+	FromDisk
+)
+
+// AppendDMA appends a DMA transfer of pages consecutive pages starting
+// at page, carried by I/O bus bus. Records must be appended in time
+// order; toMemory selects the direction (true = device writes memory).
+func (tr *Trace) AppendDMA(at time.Duration, src DMASource, bus int, page, pages int, toMemory bool) error {
+	kind := trace.DMARead
+	if toMemory {
+		kind = trace.DMAWrite
+	}
+	s := trace.SrcNetwork
+	if src == FromDisk {
+		s = trace.SrcDisk
+	}
+	if pages <= 0 || pages > 1<<15 {
+		return fmt.Errorf("dmamem: transfer of %d pages", pages)
+	}
+	if bus < 0 || bus > 255 {
+		return fmt.Errorf("dmamem: bus %d", bus)
+	}
+	tr.t.Records = append(tr.t.Records, trace.Record{
+		Time: fromStd(at), Kind: kind, Source: s,
+		Bus: uint8(bus), Pages: uint16(pages), Page: memsys.PageID(page),
+	})
+	return tr.t.Validate()
+}
+
+// AppendProcessorAccess appends one 64-byte processor access to page.
+func (tr *Trace) AppendProcessorAccess(at time.Duration, page int, write bool) error {
+	kind := trace.ProcRead
+	if write {
+		kind = trace.ProcWrite
+	}
+	tr.t.Records = append(tr.t.Records, trace.Record{
+		Time: fromStd(at), Kind: kind, Source: trace.SrcProcessor,
+		Page: memsys.PageID(page),
+	})
+	return tr.t.Validate()
+}
+
+// SetClientResponse declares the workload's mean client-perceived
+// response time and the number of DMA transfers on a client request's
+// critical path; the CP-Limit calibration uses both.
+func (tr *Trace) SetClientResponse(mean time.Duration, transfersPerRequest float64) {
+	tr.t.Meta.MeanClientResponse = fromStdDur(mean)
+	tr.t.Meta.TransfersPerClientRequest = transfersPerRequest
+}
+
+// Save stores the trace in the compact binary format.
+func (tr *Trace) Save(w io.Writer) error { return tr.t.WriteBinary(w) }
+
+// ReadTrace loads a trace written by Save.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	t, err := trace.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: t}, nil
+}
+
+func fromStd(d time.Duration) sim.Time        { return sim.Time(d.Nanoseconds()) * 1000 }
+func fromStdDur(d time.Duration) sim.Duration { return sim.Duration(d.Nanoseconds()) * 1000 }
+
+// SyntheticOptions parameterizes the paper's synthetic traces.
+type SyntheticOptions struct {
+	// Duration of the trace (default 100ms, as in the evaluation).
+	Duration time.Duration
+	// Seed for the deterministic generator.
+	Seed uint64
+	// RatePerMs is the Poisson DMA transfer arrival rate (default 100).
+	RatePerMs float64
+	// Alpha is the Zipf page-popularity skew (default 1.0).
+	Alpha float64
+	// ProcPerTransfer injects exactly this many processor accesses per
+	// transfer (database traces; the Figure 9 sweep).
+	ProcPerTransfer int
+	// MixedSizes switches from uniform 8 KB transfers to the
+	// multi-block mixture for the size-sensitivity study.
+	MixedSizes bool
+}
+
+func (o SyntheticOptions) st() synth.StConfig {
+	cfg := synth.DefaultSt()
+	if o.Duration != 0 {
+		cfg.Duration = fromStdDur(o.Duration)
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.RatePerMs != 0 {
+		cfg.RatePerMs = o.RatePerMs
+	}
+	if o.Alpha != 0 {
+		cfg.Alpha = o.Alpha
+	}
+	if o.MixedSizes {
+		cfg.Sizes = synth.MixedSizes()
+	}
+	return cfg
+}
+
+// SyntheticStorageTrace builds the paper's Synthetic-St workload:
+// Poisson network and disk DMA transfers with Zipf page popularity.
+func SyntheticStorageTrace(o SyntheticOptions) (*Trace, error) {
+	t, err := synth.GenerateSt(o.st())
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: t}, nil
+}
+
+// SyntheticDatabaseTrace builds the paper's Synthetic-Db workload:
+// network DMAs plus Poisson processor accesses (10000/ms by default).
+func SyntheticDatabaseTrace(o SyntheticOptions) (*Trace, error) {
+	cfg := synth.DefaultDb()
+	cfg.St = o.st()
+	cfg.St.DiskFraction = 0
+	if cfg.St.Seed == 1 {
+		cfg.St.Seed = 2
+	}
+	if o.ProcPerTransfer > 0 {
+		cfg.ProcPerTransfer = o.ProcPerTransfer
+		cfg.ProcRatePerMs = 0
+	}
+	t, err := synth.GenerateDb(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: t}, nil
+}
+
+// ServerOptions parameterizes the full data-server workload models
+// that synthesize the OLTP-St / OLTP-Db style traces of Table 2.
+type ServerOptions struct {
+	// Duration of the trace (default 100ms).
+	Duration time.Duration
+	// Seed for the deterministic generator.
+	Seed uint64
+	// RequestRatePerMs is the client request rate (default 45 for the
+	// storage server, 100 for the database server).
+	RequestRatePerMs float64
+}
+
+// StorageServerTrace runs the storage-server model — client requests
+// through a buffer cache, a disk array and a SAN — and returns the
+// memory trace it induces along with its summary.
+func StorageServerTrace(o ServerOptions) (*Trace, error) {
+	cfg := server.DefaultStorage()
+	if o.Duration != 0 {
+		cfg.Duration = fromStdDur(o.Duration)
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.RequestRatePerMs != 0 {
+		cfg.RequestRatePerMs = o.RequestRatePerMs
+	}
+	res, err := server.GenerateStorage(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: res.Trace}, nil
+}
+
+// DecisionSupportTrace runs the TPC-H style decision-support model the
+// paper lists as future work: rare, enormous analytical scans streamed
+// from the disk array in large read-ahead units, with small aggregated
+// results leaving over the network.
+func DecisionSupportTrace(o ServerOptions) (*Trace, error) {
+	cfg := server.DefaultDSS()
+	if o.Duration != 0 {
+		cfg.Duration = fromStdDur(o.Duration)
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.RequestRatePerMs != 0 {
+		cfg.QueryRatePerMs = o.RequestRatePerMs
+	}
+	res, err := server.GenerateDSS(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: res.Trace}, nil
+}
+
+// DatabaseServerTrace runs the database-server model — queries over a
+// memory-resident bufferpool with processor accesses and result DMAs.
+func DatabaseServerTrace(o ServerOptions) (*Trace, error) {
+	cfg := server.DefaultDatabase()
+	if o.Duration != 0 {
+		cfg.Duration = fromStdDur(o.Duration)
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.RequestRatePerMs != 0 {
+		cfg.QueryRatePerMs = o.RequestRatePerMs
+	}
+	res, err := server.GenerateDatabase(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{t: res.Trace}, nil
+}
