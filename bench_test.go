@@ -14,6 +14,7 @@ package dmamem
 // seconds per figure; EXPERIMENTS.md records a full-length run.
 
 import (
+	"context"
 	"testing"
 
 	"dmamem/internal/experiments"
@@ -24,6 +25,9 @@ const (
 	benchDuration   = 25 * sim.Millisecond
 	benchDbDuration = 8 * sim.Millisecond
 )
+
+// ctx bounds the benchmark experiments; benchmarks are never canceled.
+var ctx = context.Background()
 
 func benchSuite() *experiments.Suite {
 	s := experiments.NewSuite(benchDuration, 1)
@@ -36,7 +40,7 @@ func benchSuite() *experiments.Suite {
 func BenchmarkTable2TraceGeneration(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s := benchSuite()
-		rows, err := s.Table2()
+		rows, err := s.Table2(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -70,7 +74,7 @@ func BenchmarkFig3Lockstep(b *testing.B) {
 func BenchmarkFig2bBreakdown(b *testing.B) {
 	var idle, serving float64
 	for i := 0; i < b.N; i++ {
-		rows, err := benchSuite().Fig2b()
+		rows, err := benchSuite().Fig2b(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -86,7 +90,7 @@ func BenchmarkFig2bBreakdown(b *testing.B) {
 func BenchmarkFig4PopularityCDF(b *testing.B) {
 	var at20 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := benchSuite().Fig4(10)
+		pts, err := benchSuite().Fig4(ctx, 10)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +109,7 @@ func BenchmarkFig4PopularityCDF(b *testing.B) {
 func BenchmarkFig5Savings(b *testing.B) {
 	var pl10 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := benchSuite().Fig5([]float64{0.10, 0.30}, []int{2})
+		pts, err := benchSuite().Fig5(ctx, []float64{0.10, 0.30}, []int{2})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +127,7 @@ func BenchmarkFig5Savings(b *testing.B) {
 func BenchmarkFig5GroupCount(b *testing.B) {
 	var g2, g6 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := benchSuite().Fig5([]float64{0.10}, []int{2, 3, 6})
+		pts, err := benchSuite().Fig5(ctx, []float64{0.10}, []int{2, 3, 6})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -147,7 +151,7 @@ func BenchmarkFig5GroupCount(b *testing.B) {
 func BenchmarkFig6Breakdown(b *testing.B) {
 	var baseIdle, plIdle float64
 	for i := 0; i < b.N; i++ {
-		rows, err := benchSuite().Fig6()
+		rows, err := benchSuite().Fig6(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -163,7 +167,7 @@ func BenchmarkFig6Breakdown(b *testing.B) {
 func BenchmarkFig7Utilization(b *testing.B) {
 	var base, pl30 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := benchSuite().Fig7([]float64{0.10, 0.30})
+		pts, err := benchSuite().Fig7(ctx, []float64{0.10, 0.30})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -185,7 +189,7 @@ func BenchmarkFig7Utilization(b *testing.B) {
 func BenchmarkFig8Intensity(b *testing.B) {
 	var lo, hi float64
 	for i := 0; i < b.N; i++ {
-		pts, err := benchSuite().Fig8([]float64{50, 200})
+		pts, err := benchSuite().Fig8(ctx, []float64{50, 200})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -209,7 +213,7 @@ func BenchmarkFig8Intensity(b *testing.B) {
 func BenchmarkFig9ProcAccesses(b *testing.B) {
 	var light, heavy float64
 	for i := 0; i < b.N; i++ {
-		pts, err := benchSuite().Fig9([]int{0, 233})
+		pts, err := benchSuite().Fig9(ctx, []int{0, 233})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,7 +237,7 @@ func BenchmarkFig9ProcAccesses(b *testing.B) {
 func BenchmarkFig10BandwidthRatio(b *testing.B) {
 	var near1, at3 float64
 	for i := 0; i < b.N; i++ {
-		pts, err := benchSuite().Fig10([]float64{3.0e9, 1.064e9})
+		pts, err := benchSuite().Fig10(ctx, []float64{3.0e9, 1.064e9})
 		if err != nil {
 			b.Fatal(err)
 		}

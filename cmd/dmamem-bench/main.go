@@ -3,19 +3,28 @@
 //
 // Usage:
 //
-//	dmamem-bench [-duration 100ms] [-seed 1] [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2]
+//	dmamem-bench [-duration 100ms] [-seed 1] [-parallel N] [-timing]
+//	             [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2|dss|tech|seeds]
 //
 // Each figure prints the same series the paper plots; EXPERIMENTS.md
-// records the paper-vs-measured comparison.
+// records the paper-vs-measured comparison. Independent simulation
+// runs are fanned across -parallel worker goroutines (default
+// GOMAXPROCS); the printed output is byte-identical at any
+// parallelism. -timing prints a per-run wall-clock summary to stderr.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"dmamem/internal/experiments"
+	"dmamem/internal/metrics"
 	"dmamem/internal/sim"
 )
 
@@ -24,10 +33,21 @@ func main() {
 	dbDuration := flag.Duration("db-duration", 25*time.Millisecond, "database trace duration (denser traces)")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	fig := flag.String("fig", "all", "which figure/table to regenerate")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulation runs (1 = sequential)")
+	timing := flag.Bool("timing", false, "print a per-run wall-clock timing summary to stderr")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	runner := experiments.NewRunner(*parallel)
+	if *timing {
+		runner.Timings = &metrics.Timings{}
+	}
 	s := experiments.NewSuite(fromStd(*duration), *seed)
 	s.DbDuration = fromStd(*dbDuration)
+	s.Runner = runner
+	start := time.Now()
 
 	run := func(name string, f func() error) {
 		if *fig != "all" && *fig != name {
@@ -45,7 +65,7 @@ func main() {
 		return nil
 	})
 	run("table2", func() error {
-		rows, err := s.Table2()
+		rows, err := s.Table2(ctx)
 		if err != nil {
 			return err
 		}
@@ -61,7 +81,7 @@ func main() {
 		return nil
 	})
 	run("2b", func() error {
-		rows, err := s.Fig2b()
+		rows, err := s.Fig2b(ctx)
 		if err != nil {
 			return err
 		}
@@ -70,7 +90,7 @@ func main() {
 		return nil
 	})
 	run("4", func() error {
-		pts, err := s.Fig4(10)
+		pts, err := s.Fig4(ctx, 10)
 		if err != nil {
 			return err
 		}
@@ -78,7 +98,7 @@ func main() {
 		return nil
 	})
 	run("5", func() error {
-		pts, err := s.Fig5([]float64{0.01, 0.05, 0.10, 0.20, 0.30}, []int{2, 3, 6})
+		pts, err := s.Fig5(ctx, []float64{0.01, 0.05, 0.10, 0.20, 0.30}, []int{2, 3, 6})
 		if err != nil {
 			return err
 		}
@@ -86,7 +106,7 @@ func main() {
 		return nil
 	})
 	run("6", func() error {
-		rows, err := s.Fig6()
+		rows, err := s.Fig6(ctx)
 		if err != nil {
 			return err
 		}
@@ -95,7 +115,7 @@ func main() {
 		return nil
 	})
 	run("7", func() error {
-		pts, err := s.Fig7([]float64{0.01, 0.05, 0.10, 0.20, 0.30})
+		pts, err := s.Fig7(ctx, []float64{0.01, 0.05, 0.10, 0.20, 0.30})
 		if err != nil {
 			return err
 		}
@@ -103,7 +123,7 @@ func main() {
 		return nil
 	})
 	run("8", func() error {
-		pts, err := s.Fig8([]float64{25, 50, 100, 200, 400})
+		pts, err := s.Fig8(ctx, []float64{25, 50, 100, 200, 400})
 		if err != nil {
 			return err
 		}
@@ -113,7 +133,7 @@ func main() {
 		return nil
 	})
 	run("9", func() error {
-		pts, err := s.Fig9([]int{0, 50, 100, 233, 400})
+		pts, err := s.Fig9(ctx, []int{0, 50, 100, 233, 400})
 		if err != nil {
 			return err
 		}
@@ -123,7 +143,7 @@ func main() {
 		return nil
 	})
 	run("10", func() error {
-		pts, err := s.Fig10([]float64{0.5e9, 1.064e9, 2e9, 3e9})
+		pts, err := s.Fig10(ctx, []float64{0.5e9, 1.064e9, 2e9, 3e9})
 		if err != nil {
 			return err
 		}
@@ -133,7 +153,7 @@ func main() {
 		return nil
 	})
 	run("dss", func() error {
-		rows, err := experiments.DSSExtension(fromStd(*duration), *seed)
+		rows, err := experiments.DSSExtension(ctx, runner, fromStd(*duration), *seed)
 		if err != nil {
 			return err
 		}
@@ -141,7 +161,7 @@ func main() {
 		return nil
 	})
 	run("tech", func() error {
-		rows, err := experiments.TechExtension(fromStd(*duration), *seed)
+		rows, err := experiments.TechExtension(ctx, runner, fromStd(*duration), *seed)
 		if err != nil {
 			return err
 		}
@@ -151,13 +171,17 @@ func main() {
 	run("seeds", func() error {
 		// Dispersion behind the headline Figure 5 point.
 		pl := experiments.Fig5PLConfig()
-		st, err := experiments.MultiSeedSavings(fromStd(*duration), 5, pl)
+		st, err := experiments.MultiSeedSavings(ctx, runner, fromStd(*duration), 5, pl)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiments.FormatSeedStats(st))
 		return nil
 	})
+
+	if *timing {
+		fmt.Fprint(os.Stderr, runner.Timings.Summary(time.Since(start)))
+	}
 }
 
 func fromStd(d time.Duration) sim.Duration {

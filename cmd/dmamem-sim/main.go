@@ -11,13 +11,18 @@
 //	  -cp-limit 0.10     client-perceived degradation bound for DMA-TA
 //	  -groups 2          popularity groups for PL
 //	  -compare           also run the baseline and report savings
+//	  -parallel N        run the baseline and technique concurrently
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
 	"time"
 
 	"dmamem"
@@ -33,7 +38,11 @@ func main() {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	compare := flag.Bool("compare", true, "also run the baseline and report savings")
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the -compare pair (1 = sequential)")
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	tr, err := loadTrace(*traceFile, *workload, *duration, *seed)
 	if err != nil {
@@ -56,7 +65,7 @@ func main() {
 	}
 
 	if *compare && s.Technique != dmamem.Baseline {
-		cmp, err := dmamem.Compare(s, tr)
+		cmp, err := dmamem.CompareContext(ctx, s, tr, *parallel)
 		if err != nil {
 			fatal(err)
 		}

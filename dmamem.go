@@ -32,6 +32,7 @@
 package dmamem
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -196,6 +197,17 @@ type Comparison struct {
 // hardware configuration (buses, static policy) so the comparison
 // isolates the technique.
 func Compare(s Simulation, tr *Trace) (*Comparison, error) {
+	return CompareContext(context.Background(), s, tr, 1)
+}
+
+// CompareContext is Compare with cancellation and optional
+// concurrency: when parallel > 1 the baseline and technique
+// simulations run on two goroutines (each simulation is confined to a
+// single goroutine — see the internal/sim ownership contract), and the
+// resulting reports are bit-identical to Compare's. Cancellation is
+// coarse: it is observed between simulation runs, so a discrete-event
+// run already in flight completes before ctx.Err() is returned.
+func CompareContext(ctx context.Context, s Simulation, tr *Trace, parallel int) (*Comparison, error) {
 	tech, err := s.coreConfig()
 	if err != nil {
 		return nil, err
@@ -206,7 +218,7 @@ func Compare(s Simulation, tr *Trace) (*Comparison, error) {
 	if err != nil {
 		return nil, err
 	}
-	base, techRes, savings, err := core.RunBaselinePair(baseCfg, tech, tr.t)
+	base, techRes, savings, err := core.RunBaselinePairParallel(ctx, baseCfg, tech, tr.t, parallel)
 	if err != nil {
 		return nil, err
 	}

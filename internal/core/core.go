@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"dmamem/internal/bus"
@@ -298,6 +299,43 @@ func RunBaselinePair(base, tech Config, tr *trace.Trace) (b, t *Result, savings 
 	}
 	if t, err = Run(tech, tr); err != nil {
 		return nil, nil, 0, err
+	}
+	return b, t, t.Report.Savings(b.Report), nil
+}
+
+// RunBaselinePairParallel is RunBaselinePair with cancellation and,
+// when parallel > 1, the two runs on separate goroutines (each
+// simulation owns its own single-goroutine engine; see internal/sim).
+// Results are bit-identical to RunBaselinePair's. Cancellation is
+// observed between runs: a discrete-event run already in flight
+// completes before ctx.Err() is returned.
+func RunBaselinePairParallel(ctx context.Context, base, tech Config, tr *trace.Trace, parallel int) (b, t *Result, savings float64, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err = ctx.Err(); err != nil {
+		return nil, nil, 0, err
+	}
+	if parallel <= 1 {
+		b, t, savings, err = RunBaselinePair(base, tech, tr)
+		return
+	}
+	window := tr.Duration() + 2*sim.Millisecond
+	base.MeterWindow = window
+	tech.MeterWindow = window
+	var baseErr, techErr error
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t, techErr = Run(tech, tr)
+	}()
+	b, baseErr = Run(base, tr)
+	<-done
+	if baseErr != nil {
+		return nil, nil, 0, baseErr
+	}
+	if techErr != nil {
+		return nil, nil, 0, techErr
 	}
 	return b, t, t.Report.Savings(b.Report), nil
 }

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"dmamem/internal/core"
+	"dmamem/internal/metrics"
+	"dmamem/internal/sim"
+)
+
+// TestParallelDeterminism is the regression gate for the parallel
+// runner: a full experiment run at parallel=8 must produce results,
+// rendered tables and metrics.Report values identical to the
+// sequential run. Anything less means parallelism leaked into the
+// simulation.
+func TestParallelDeterminism(t *testing.T) {
+	seq := testSuite()
+	par := testSuite()
+	par.Runner = &Runner{Parallel: 8, Timings: &metrics.Timings{}}
+
+	cps := []float64{0.05, 0.30}
+
+	seqT2, err := seq.Table2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parT2, err := par.Table2(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqT2, parT2) {
+		t.Error("Table2 rows differ between sequential and parallel runs")
+	}
+	if FormatTable2(seqT2) != FormatTable2(parT2) {
+		t.Error("Table2 rendering differs")
+	}
+
+	seqF2b, err := seq.Fig2b(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF2b, err := par.Fig2b(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqF2b, parF2b) {
+		t.Error("Fig2b breakdowns differ")
+	}
+	if FormatBreakdowns("fig2b", seqF2b) != FormatBreakdowns("fig2b", parF2b) {
+		t.Error("Fig2b rendering differs")
+	}
+
+	seqF5, err := seq.Fig5(ctx, cps, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parF5, err := par.Fig5(ctx, cps, []int{2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seqF5, parF5) {
+		t.Error("Fig5 points differ between sequential and parallel runs")
+	}
+	if FormatFig5(seqF5) != FormatFig5(parF5) {
+		t.Error("Fig5 rendering differs")
+	}
+
+	if par.Runner.Timings.Count() == 0 {
+		t.Error("parallel run recorded no job timings")
+	}
+}
+
+// TestBaselinePairParallelReports pins the metrics.Report equality at
+// the core layer: the two-goroutine baseline/technique pair must
+// reproduce the sequential pair's reports field for field.
+func TestBaselinePairParallelReports(t *testing.T) {
+	w, err := core.SyntheticStWorkload(10*sim.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tech := Fig5PLConfig()
+	b1, t1, s1, err := core.RunBaselinePair(core.Config{}, tech, w.Trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, t2, s2, err := core.RunBaselinePairParallel(ctx, core.Config{}, tech, w.Trace, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(b1.Report, b2.Report) {
+		t.Error("baseline metrics.Report differs under parallel execution")
+	}
+	if !reflect.DeepEqual(t1.Report, t2.Report) {
+		t.Error("technique metrics.Report differs under parallel execution")
+	}
+	if s1 != s2 {
+		t.Errorf("savings differ: %v vs %v", s1, s2)
+	}
+}

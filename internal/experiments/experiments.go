@@ -2,11 +2,18 @@
 // paper's evaluation (Section 5) on the simulator. Each experiment
 // returns structured data plus a text rendering, so the benchmark
 // harness, the CLI and the tests share one implementation.
+//
+// Every experiment decomposes into independent jobs — one simulation
+// run per scheme/workload/sweep-point — executed through a Runner
+// worker pool. Results are reassembled in job order, so the output of
+// a parallel run is byte-identical to a sequential one; see Runner.
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
+	"sync"
 
 	"dmamem/internal/bus"
 	"dmamem/internal/controller"
@@ -19,23 +26,43 @@ import (
 	"dmamem/internal/trace"
 )
 
-// Suite holds the shared configuration of an experiment run.
+// Suite holds the shared configuration of an experiment run. A Suite
+// is safe for concurrent use by the jobs of one Runner: the workload
+// cache is single-flight, so a trace is generated exactly once even
+// when several schemes request it simultaneously.
 type Suite struct {
-	// Duration of generated traces. The paper's shapes are stable from
-	// ~40 ms; the CLI defaults to 100 ms.
+	// Duration of generated traces, in simulated time (sim.Duration,
+	// picoseconds). The paper's shapes are stable from ~40 ms; the CLI
+	// defaults to 100 ms.
 	Duration sim.Duration
 	// DbDuration for the (much denser) database traces; zero means
 	// Duration.
 	DbDuration sim.Duration
 	// Seed for all generators.
 	Seed uint64
+	// Runner executes the suite's independent simulation jobs. A nil
+	// Runner runs everything sequentially on the calling goroutine;
+	// results are byte-identical either way.
+	Runner *Runner
 
-	cache map[string]*trace.Trace
+	mu    sync.Mutex
+	cache map[string]*cacheEntry
 }
+
+// cacheEntry is the single-flight slot for one workload trace: the
+// first requester generates, concurrent requesters wait on the Once.
+type cacheEntry struct {
+	once sync.Once
+	tr   *trace.Trace
+	err  error
+}
+
+// workloadNames are the four traces of Table 2, in presentation order.
+var workloadNames = []string{"OLTP-St", "Synthetic-St", "OLTP-Db", "Synthetic-Db"}
 
 // NewSuite returns a suite with the given trace duration.
 func NewSuite(d sim.Duration, seed uint64) *Suite {
-	return &Suite{Duration: d, Seed: seed, cache: map[string]*trace.Trace{}}
+	return &Suite{Duration: d, Seed: seed, cache: map[string]*cacheEntry{}}
 }
 
 func (s *Suite) dbDuration() sim.Duration {
@@ -45,25 +72,37 @@ func (s *Suite) dbDuration() sim.Duration {
 	return s.Duration
 }
 
-// Workloads returns the four traces of Table 2, generating and caching
-// them on first use.
-func (s *Suite) Workloads() ([]*trace.Trace, error) {
-	names := []string{"OLTP-St", "Synthetic-St", "OLTP-Db", "Synthetic-Db"}
-	out := make([]*trace.Trace, 0, len(names))
-	for _, n := range names {
-		tr, err := s.workload(n)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, tr)
-	}
-	return out, nil
+// Workloads returns the four traces of Table 2, generating (in
+// parallel, through the suite's Runner) and caching them on first use.
+func (s *Suite) Workloads(ctx context.Context) ([]*trace.Trace, error) {
+	return mapJobs(ctx, s.Runner, len(workloadNames),
+		func(i int) string { return "workload/" + workloadNames[i] },
+		func(ctx context.Context, i int) (*trace.Trace, error) {
+			return s.workload(workloadNames[i])
+		})
 }
 
+// workload returns one cached trace, generating it on first use.
+// Concurrent callers of the same name share a single generation.
 func (s *Suite) workload(name string) (*trace.Trace, error) {
-	if tr, ok := s.cache[name]; ok {
-		return tr, nil
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = map[string]*cacheEntry{}
 	}
+	e, ok := s.cache[name]
+	if !ok {
+		e = &cacheEntry{}
+		s.cache[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.tr, e.err = s.generate(name) })
+	return e.tr, e.err
+}
+
+// generate builds one workload trace. Each generator gets its own
+// seed-derived RNG, so concurrent generation of different workloads is
+// isolated (verified by the package's race tests).
+func (s *Suite) generate(name string) (*trace.Trace, error) {
 	var tr *trace.Trace
 	var err error
 	switch name {
@@ -97,9 +136,8 @@ func (s *Suite) workload(name string) (*trace.Trace, error) {
 		return nil, fmt.Errorf("experiments: unknown workload %q", name)
 	}
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("experiments: workload %s: %w", name, err)
 	}
-	s.cache[name] = tr
 	return tr, nil
 }
 
@@ -115,7 +153,7 @@ func plConfig(groups int) *layout.Config {
 }
 
 // Table1 renders the power model constants (a transcription check of
-// the paper's Table 1).
+// the paper's Table 1; powers in watts, rendered as milliwatts).
 func Table1() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 1: RDRAM power model\n")
@@ -142,37 +180,46 @@ func Table1() string {
 	return b.String()
 }
 
-// Table2Row summarizes one workload.
+// Table2Row summarizes one workload: DMA transfer rates per
+// millisecond of simulated time, processor access rates, and the
+// distinct-page footprint.
 type Table2Row struct {
-	Name            string
-	NetPerMs        float64
-	DiskPerMs       float64
-	ProcPerMs       float64
+	// Name of the workload ("OLTP-St", ...).
+	Name string
+	// NetPerMs is network DMA transfers per simulated millisecond.
+	NetPerMs float64
+	// DiskPerMs is disk DMA transfers per simulated millisecond.
+	DiskPerMs float64
+	// ProcPerMs is processor accesses per simulated millisecond.
+	ProcPerMs float64
+	// ProcPerTransfer is processor accesses per DMA transfer.
 	ProcPerTransfer float64
-	DistinctPages   int
+	// DistinctPages touched by the trace.
+	DistinctPages int
 }
 
 // Table2 generates the four traces and summarizes them like the
-// paper's trace inventory.
-func (s *Suite) Table2() ([]Table2Row, error) {
-	ws, err := s.Workloads()
+// paper's trace inventory, one analysis job per workload.
+func (s *Suite) Table2(ctx context.Context) ([]Table2Row, error) {
+	ws, err := s.Workloads(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]Table2Row, 0, len(ws))
-	for _, tr := range ws {
-		st := trace.Analyze(tr)
-		dur := st.Duration.Seconds() * 1e3
-		rows = append(rows, Table2Row{
-			Name:            tr.Name,
-			NetPerMs:        float64(st.NetTransfers) / dur,
-			DiskPerMs:       float64(st.DiskTransfers) / dur,
-			ProcPerMs:       st.ProcAccessesPerMs(),
-			ProcPerTransfer: st.ProcAccessesPerTransfer(),
-			DistinctPages:   st.DistinctPages,
+	return mapJobs(ctx, s.Runner, len(ws),
+		func(i int) string { return "table2/" + ws[i].Name },
+		func(ctx context.Context, i int) (Table2Row, error) {
+			tr := ws[i]
+			st := trace.Analyze(tr)
+			dur := st.Duration.Seconds() * 1e3
+			return Table2Row{
+				Name:            tr.Name,
+				NetPerMs:        float64(st.NetTransfers) / dur,
+				DiskPerMs:       float64(st.DiskTransfers) / dur,
+				ProcPerMs:       st.ProcAccessesPerMs(),
+				ProcPerTransfer: st.ProcAccessesPerTransfer(),
+				DistinctPages:   st.DistinctPages,
+			}, nil
 		})
-	}
-	return rows, nil
 }
 
 // FormatTable2 renders Table2 rows.
@@ -189,9 +236,13 @@ func FormatTable2(rows []Table2Row) string {
 
 // BreakdownRow is one bar of a Figure 2(b)/Figure 6 style breakdown.
 type BreakdownRow struct {
-	Label    string
-	Fraction map[string]float64 // category name -> share of total
-	TotalJ   float64
+	// Label of the bar (workload or scheme name).
+	Label string
+	// Fraction maps an energy category name to its share of the total
+	// (0..1).
+	Fraction map[string]float64
+	// TotalJ is the total energy of the run in joules.
+	TotalJ float64
 }
 
 func breakdownRow(label string, e energy.Breakdown) BreakdownRow {
@@ -238,26 +289,30 @@ func shortCat(c string) string {
 
 // Fig2b computes the baseline energy breakdown for the two storage
 // workloads (the paper reports 48-51% active-idle-DMA, 26-27% serving,
-// 3-4% threshold idle).
-func (s *Suite) Fig2b() ([]BreakdownRow, error) {
-	rows := []BreakdownRow{}
-	for _, name := range []string{"OLTP-St", "Synthetic-St"} {
-		tr, err := s.workload(name)
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Run(core.Config{}, tr)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, breakdownRow(name, res.Report.Energy))
-	}
-	return rows, nil
+// 3-4% threshold idle), one run per workload.
+func (s *Suite) Fig2b(ctx context.Context) ([]BreakdownRow, error) {
+	names := []string{"OLTP-St", "Synthetic-St"}
+	return mapJobs(ctx, s.Runner, len(names),
+		func(i int) string { return "fig2b/" + names[i] },
+		func(ctx context.Context, i int) (BreakdownRow, error) {
+			tr, err := s.workload(names[i])
+			if err != nil {
+				return BreakdownRow{}, err
+			}
+			res, err := core.Run(core.Config{}, tr)
+			if err != nil {
+				return BreakdownRow{}, err
+			}
+			return breakdownRow(names[i], res.Report.Energy), nil
+		})
 }
 
 // Fig4 returns the page-popularity CDF of the OLTP-St trace (the paper
 // shows ~20% of pages receiving ~60% of DMA accesses).
-func (s *Suite) Fig4(points int) ([]trace.CDFPoint, error) {
+func (s *Suite) Fig4(ctx context.Context, points int) ([]trace.CDFPoint, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	tr, err := s.workload("OLTP-St")
 	if err != nil {
 		return nil, err
@@ -277,51 +332,81 @@ func FormatFig4(pts []trace.CDFPoint) string {
 
 // Fig5Point is one curve sample: savings over baseline at a CP-Limit.
 type Fig5Point struct {
+	// Workload the point belongs to.
 	Workload string
-	Scheme   string // "dma-ta", "dma-ta-pl-2", "dma-ta-pl-3", "dma-ta-pl-6"
-	CPLimit  float64
-	Savings  float64
-	UF       float64
+	// Scheme is "dma-ta", "dma-ta-pl-2", "dma-ta-pl-3" or "dma-ta-pl-6".
+	Scheme string
+	// CPLimit is the client-perceived degradation bound (fraction,
+	// e.g. 0.10).
+	CPLimit float64
+	// Savings is the fractional energy reduction over the baseline.
+	Savings float64
+	// UF is the utilization factor of the run (Section 5.3).
+	UF float64
+}
+
+// fig5spec identifies one technique run of the Figure 5 grid.
+type fig5spec struct {
+	wi      int // workload index
+	scheme  string
+	cpLimit float64
+	cfg     core.Config
 }
 
 // Fig5 sweeps CP-Limit for every workload and scheme, like the paper's
 // headline figure. The paper's shape: DMA-TA-PL(2) > DMA-TA; savings
 // rise steeply to ~10% CP-Limit and then flatten; 6 groups lose to 2.
-func (s *Suite) Fig5(cpLimits []float64, groups []int) ([]Fig5Point, error) {
-	ws, err := s.Workloads()
+// The grid — one baseline per workload plus one run per
+// (workload, scheme, CP-Limit) — executes on the suite's Runner and is
+// reassembled in sweep order.
+func (s *Suite) Fig5(ctx context.Context, cpLimits []float64, groups []int) ([]Fig5Point, error) {
+	ws, err := s.Workloads(ctx)
 	if err != nil {
 		return nil, err
 	}
-	var out []Fig5Point
-	for _, tr := range ws {
-		window := tr.Duration() + 2*sim.Millisecond
-		base, err := core.Run(core.Config{MeterWindow: window}, tr)
-		if err != nil {
-			return nil, err
-		}
-		run := func(scheme string, cfg core.Config, cp float64) error {
-			cfg.MeterWindow = window
-			res, err := core.Run(cfg, tr)
-			if err != nil {
-				return err
-			}
-			out = append(out, Fig5Point{
-				Workload: tr.Name, Scheme: scheme, CPLimit: cp,
-				Savings: res.Report.Savings(base.Report),
-				UF:      res.Report.UtilizationFactor,
-			})
-			return nil
-		}
+	windows := make([]sim.Duration, len(ws))
+	for i, tr := range ws {
+		windows[i] = tr.Duration() + 2*sim.Millisecond
+	}
+	bases, err := mapJobs(ctx, s.Runner, len(ws),
+		func(i int) string { return "fig5/baseline/" + ws[i].Name },
+		func(ctx context.Context, i int) (*core.Result, error) {
+			return core.Run(core.Config{MeterWindow: windows[i]}, ws[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var specs []fig5spec
+	for wi := range ws {
 		for _, cp := range cpLimits {
-			if err := run("dma-ta", taConfig(cp, nil), cp); err != nil {
-				return nil, err
-			}
+			specs = append(specs, fig5spec{wi, "dma-ta", cp, taConfig(cp, nil)})
 			for _, g := range groups {
-				scheme := fmt.Sprintf("dma-ta-pl-%d", g)
-				if err := run(scheme, taConfig(cp, plConfig(g)), cp); err != nil {
-					return nil, err
-				}
+				specs = append(specs, fig5spec{wi, fmt.Sprintf("dma-ta-pl-%d", g), cp, taConfig(cp, plConfig(g))})
 			}
+		}
+	}
+	results, err := mapJobs(ctx, s.Runner, len(specs),
+		func(i int) string {
+			sp := specs[i]
+			return fmt.Sprintf("fig5/%s/%s/cp=%.2f", ws[sp.wi].Name, sp.scheme, sp.cpLimit)
+		},
+		func(ctx context.Context, i int) (*core.Result, error) {
+			sp := specs[i]
+			cfg := sp.cfg
+			cfg.MeterWindow = windows[sp.wi]
+			return core.Run(cfg, ws[sp.wi])
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Fig5Point, len(specs))
+	for i, sp := range specs {
+		out[i] = Fig5Point{
+			Workload: ws[sp.wi].Name, Scheme: sp.scheme, CPLimit: sp.cpLimit,
+			Savings: results[i].Report.Savings(bases[sp.wi].Report),
+			UF:      results[i].Report.UtilizationFactor,
 		}
 	}
 	return out, nil
@@ -350,68 +435,75 @@ func FormatFig5(pts []Fig5Point) string {
 }
 
 // Fig6 computes the energy breakdowns of baseline, DMA-TA and
-// DMA-TA-PL on OLTP-St at 10% CP-Limit (the paper's Figure 6).
-func (s *Suite) Fig6() ([]BreakdownRow, error) {
+// DMA-TA-PL on OLTP-St at 10% CP-Limit (the paper's Figure 6), one run
+// per scheme.
+func (s *Suite) Fig6(ctx context.Context) ([]BreakdownRow, error) {
 	tr, err := s.workload("OLTP-St")
 	if err != nil {
 		return nil, err
 	}
 	window := tr.Duration() + 2*sim.Millisecond
-	rows := []BreakdownRow{}
-	for _, c := range []struct {
+	schemes := []struct {
 		label string
 		cfg   core.Config
 	}{
 		{"baseline", core.Config{}},
 		{"dma-ta", taConfig(0.10, nil)},
 		{"dma-ta-pl", taConfig(0.10, plConfig(2))},
-	} {
-		c.cfg.MeterWindow = window
-		res, err := core.Run(c.cfg, tr)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, breakdownRow(c.label, res.Report.Energy))
 	}
-	return rows, nil
+	return mapJobs(ctx, s.Runner, len(schemes),
+		func(i int) string { return "fig6/" + schemes[i].label },
+		func(ctx context.Context, i int) (BreakdownRow, error) {
+			cfg := schemes[i].cfg
+			cfg.MeterWindow = window
+			res, err := core.Run(cfg, tr)
+			if err != nil {
+				return BreakdownRow{}, err
+			}
+			return breakdownRow(schemes[i].label, res.Report.Energy), nil
+		})
 }
 
 // Fig7Point is a utilization-factor sample.
 type Fig7Point struct {
-	Scheme  string
+	// Scheme is "baseline", "dma-ta" or "dma-ta-pl".
+	Scheme string
+	// CPLimit is the degradation bound of the run (fraction; 0 for the
+	// baseline).
 	CPLimit float64
-	UF      float64
+	// UF is the measured utilization factor.
+	UF float64
 }
 
 // Fig7 sweeps CP-Limit and reports the utilization factor of DMA-TA
 // and DMA-TA-PL on OLTP-St (paper: baseline ~0.33, DMA-TA-PL ~0.63 at
-// 10% and ~0.75 at 30%).
-func (s *Suite) Fig7(cpLimits []float64) ([]Fig7Point, error) {
+// 10% and ~0.75 at 30%), one run per (scheme, CP-Limit) point.
+func (s *Suite) Fig7(ctx context.Context, cpLimits []float64) ([]Fig7Point, error) {
 	tr, err := s.workload("OLTP-St")
 	if err != nil {
 		return nil, err
 	}
-	base, err := core.Run(core.Config{}, tr)
-	if err != nil {
-		return nil, err
+	type spec struct {
+		label   string
+		cpLimit float64
+		cfg     core.Config
 	}
-	out := []Fig7Point{{Scheme: "baseline", CPLimit: 0, UF: base.Report.UtilizationFactor}}
+	specs := []spec{{"baseline", 0, core.Config{}}}
 	for _, cp := range cpLimits {
-		for _, c := range []struct {
-			label string
-			cfg   core.Config
-		}{
-			{"dma-ta", taConfig(cp, nil)},
-			{"dma-ta-pl", taConfig(cp, plConfig(2))},
-		} {
-			res, err := core.Run(c.cfg, tr)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, Fig7Point{Scheme: c.label, CPLimit: cp, UF: res.Report.UtilizationFactor})
-		}
+		specs = append(specs,
+			spec{"dma-ta", cp, taConfig(cp, nil)},
+			spec{"dma-ta-pl", cp, taConfig(cp, plConfig(2))})
 	}
-	return out, nil
+	return mapJobs(ctx, s.Runner, len(specs),
+		func(i int) string { return fmt.Sprintf("fig7/%s/cp=%.2f", specs[i].label, specs[i].cpLimit) },
+		func(ctx context.Context, i int) (Fig7Point, error) {
+			res, err := core.Run(specs[i].cfg, tr)
+			if err != nil {
+				return Fig7Point{}, err
+			}
+			return Fig7Point{Scheme: specs[i].label, CPLimit: specs[i].cpLimit,
+				UF: res.Report.UtilizationFactor}, nil
+		})
 }
 
 // FormatFig7 renders utilization factors.
@@ -427,103 +519,146 @@ func FormatFig7(pts []Fig7Point) string {
 
 // SweepPoint is a generic (x, savings) sample for Figures 8-10.
 type SweepPoint struct {
+	// Workload the point belongs to.
 	Workload string
-	Scheme   string
-	X        float64
-	Savings  float64
+	// Scheme is "dma-ta" or "dma-ta-pl".
+	Scheme string
+	// X is the sweep variable (units depend on the figure: transfers
+	// per millisecond, processor accesses per transfer, or a bandwidth
+	// ratio).
+	X float64
+	// Savings is the fractional energy reduction over the baseline.
+	Savings float64
+}
+
+// sweepSchemes are the two techniques the sweep figures compare.
+// sweepSchemeConfig builds a fresh configuration per job, so no config
+// pointers are shared between concurrently running simulations.
+var sweepSchemes = []string{"dma-ta", "dma-ta-pl"}
+
+func sweepSchemeConfig(label string) core.Config {
+	if label == "dma-ta-pl" {
+		return taConfig(0.10, plConfig(2))
+	}
+	return taConfig(0.10, nil)
 }
 
 // Fig8 varies the Synthetic-St arrival rate (the paper's workload
-// intensity sweep; savings grow with intensity, then flatten).
-func (s *Suite) Fig8(ratesPerMs []float64) ([]SweepPoint, error) {
-	var out []SweepPoint
+// intensity sweep; savings grow with intensity, then flatten). Each
+// (rate, scheme) job regenerates its own trace — the deterministic
+// generator makes duplicate generation bit-identical — and runs a
+// baseline/technique pair.
+func (s *Suite) Fig8(ctx context.Context, ratesPerMs []float64) ([]SweepPoint, error) {
+	type spec struct {
+		rate   float64
+		scheme int
+	}
+	var specs []spec
 	for _, rate := range ratesPerMs {
-		cfg := synth.DefaultSt()
-		cfg.Duration = s.Duration
-		cfg.Seed = s.Seed + 1
-		cfg.RatePerMs = rate
-		tr, err := synth.GenerateSt(cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range []struct {
-			label string
-			cfg   core.Config
-		}{
-			{"dma-ta", taConfig(0.10, nil)},
-			{"dma-ta-pl", taConfig(0.10, plConfig(2))},
-		} {
-			_, _, savings, err := core.RunBaselinePair(core.Config{}, c.cfg, tr)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepPoint{Workload: "Synthetic-St", Scheme: c.label, X: rate, Savings: savings})
+		for si := range sweepSchemes {
+			specs = append(specs, spec{rate, si})
 		}
 	}
-	return out, nil
+	return mapJobs(ctx, s.Runner, len(specs),
+		func(i int) string {
+			return fmt.Sprintf("fig8/%s/rate=%g", sweepSchemes[specs[i].scheme], specs[i].rate)
+		},
+		func(ctx context.Context, i int) (SweepPoint, error) {
+			sp := specs[i]
+			cfg := synth.DefaultSt()
+			cfg.Duration = s.Duration
+			cfg.Seed = s.Seed + 1
+			cfg.RatePerMs = sp.rate
+			tr, err := synth.GenerateSt(cfg)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			_, _, savings, err := core.RunBaselinePair(core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			return SweepPoint{Workload: "Synthetic-St", Scheme: sweepSchemes[sp.scheme],
+				X: sp.rate, Savings: savings}, nil
+		})
 }
 
 // Fig9 varies the number of processor accesses per DMA transfer in
 // Synthetic-Db (paper: savings drop as the CPU consumes the idle
-// cycles; OLTP-Db averages 233 accesses per transfer).
-func (s *Suite) Fig9(perTransfer []int) ([]SweepPoint, error) {
-	var out []SweepPoint
+// cycles; OLTP-Db averages 233 accesses per transfer), one job per
+// (point, scheme).
+func (s *Suite) Fig9(ctx context.Context, perTransfer []int) ([]SweepPoint, error) {
+	type spec struct {
+		per    int
+		scheme int
+	}
+	var specs []spec
 	for _, per := range perTransfer {
-		cfg := synth.DefaultDb()
-		cfg.St.Duration = s.dbDuration()
-		cfg.St.Seed = s.Seed + 2
-		cfg.ProcRatePerMs = 0
-		cfg.ProcPerTransfer = per
-		tr, err := synth.GenerateDb(cfg)
-		if err != nil {
-			return nil, err
-		}
-		for _, c := range []struct {
-			label string
-			cfg   core.Config
-		}{
-			{"dma-ta", taConfig(0.10, nil)},
-			{"dma-ta-pl", taConfig(0.10, plConfig(2))},
-		} {
-			_, _, savings, err := core.RunBaselinePair(core.Config{}, c.cfg, tr)
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, SweepPoint{Workload: "Synthetic-Db", Scheme: c.label, X: float64(per), Savings: savings})
+		for si := range sweepSchemes {
+			specs = append(specs, spec{per, si})
 		}
 	}
-	return out, nil
+	return mapJobs(ctx, s.Runner, len(specs),
+		func(i int) string {
+			return fmt.Sprintf("fig9/%s/per=%d", sweepSchemes[specs[i].scheme], specs[i].per)
+		},
+		func(ctx context.Context, i int) (SweepPoint, error) {
+			sp := specs[i]
+			cfg := synth.DefaultDb()
+			cfg.St.Duration = s.dbDuration()
+			cfg.St.Seed = s.Seed + 2
+			cfg.ProcRatePerMs = 0
+			cfg.ProcPerTransfer = sp.per
+			tr, err := synth.GenerateDb(cfg)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			_, _, savings, err := core.RunBaselinePair(core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			return SweepPoint{Workload: "Synthetic-Db", Scheme: sweepSchemes[sp.scheme],
+				X: float64(sp.per), Savings: savings}, nil
+		})
 }
 
 // Fig10 varies the I/O bus bandwidth with the memory rate fixed at
 // 3.2 GB/s (the paper sweeps 0.5, 1, 2 and 3 GB/s; savings shrink as
-// the ratio approaches 1).
-func (s *Suite) Fig10(busBW []float64) ([]SweepPoint, error) {
-	var out []SweepPoint
+// the ratio approaches 1), one job per (workload, bandwidth, scheme).
+func (s *Suite) Fig10(ctx context.Context, busBW []float64) ([]SweepPoint, error) {
+	type spec struct {
+		workload string
+		bw       float64
+		scheme   int
+	}
+	var specs []spec
 	for _, name := range []string{"OLTP-St", "Synthetic-St"} {
-		tr, err := s.workload(name)
-		if err != nil {
-			return nil, err
-		}
 		for _, bw := range busBW {
-			bc := bus.Config{Count: 3, Bandwidth: bw}
-			base := core.Config{Buses: bc}
-			for _, c := range []struct {
-				label string
-				cfg   core.Config
-			}{
-				{"dma-ta", core.Config{Buses: bc, TA: controller.DefaultTA(0), CPLimit: 0.10}},
-				{"dma-ta-pl", core.Config{Buses: bc, TA: controller.DefaultTA(0), CPLimit: 0.10, PL: plConfig(2)}},
-			} {
-				_, _, savings, err := core.RunBaselinePair(base, c.cfg, tr)
-				if err != nil {
-					return nil, err
-				}
-				out = append(out, SweepPoint{Workload: name, Scheme: c.label, X: 3.2e9 / bw, Savings: savings})
+			for si := range sweepSchemes {
+				specs = append(specs, spec{name, bw, si})
 			}
 		}
 	}
-	return out, nil
+	return mapJobs(ctx, s.Runner, len(specs),
+		func(i int) string {
+			sp := specs[i]
+			return fmt.Sprintf("fig10/%s/%s/bw=%g", sp.workload, sweepSchemes[sp.scheme], sp.bw)
+		},
+		func(ctx context.Context, i int) (SweepPoint, error) {
+			sp := specs[i]
+			tr, err := s.workload(sp.workload)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			bc := bus.Config{Count: 3, Bandwidth: sp.bw}
+			tech := sweepSchemeConfig(sweepSchemes[sp.scheme])
+			tech.Buses = bc
+			_, _, savings, err := core.RunBaselinePair(core.Config{Buses: bc}, tech, tr)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+			return SweepPoint{Workload: sp.workload, Scheme: sweepSchemes[sp.scheme],
+				X: 3.2e9 / sp.bw, Savings: savings}, nil
+		})
 }
 
 // FormatSweep renders a sweep with a caption for the x-axis.

@@ -1,12 +1,16 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 
 	"dmamem/internal/sim"
 )
+
+// ctx bounds the test experiments; tests are never canceled.
+var ctx = context.Background()
 
 // testSuite uses short traces so the full battery stays fast; the
 // paper's shapes are already visible at this scale.
@@ -27,7 +31,7 @@ func TestTable1(t *testing.T) {
 
 func TestTable2(t *testing.T) {
 	s := testSuite()
-	rows, err := s.Table2()
+	rows, err := s.Table2(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -58,7 +62,7 @@ func TestTable2(t *testing.T) {
 
 func TestFig2bShape(t *testing.T) {
 	s := testSuite()
-	rows, err := s.Fig2b()
+	rows, err := s.Fig2b(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +92,7 @@ func TestFig2bShape(t *testing.T) {
 
 func TestFig4Shape(t *testing.T) {
 	s := testSuite()
-	pts, err := s.Fig4(10)
+	pts, err := s.Fig4(ctx, 10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +118,7 @@ func TestFig4Shape(t *testing.T) {
 
 func TestFig5Shape(t *testing.T) {
 	s := testSuite()
-	pts, err := s.Fig5([]float64{0.05, 0.30}, []int{2})
+	pts, err := s.Fig5(ctx, []float64{0.05, 0.30}, []int{2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +155,7 @@ func TestFig5Shape(t *testing.T) {
 
 func TestFig6Shape(t *testing.T) {
 	s := testSuite()
-	rows, err := s.Fig6()
+	rows, err := s.Fig6(ctx)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +180,7 @@ func TestFig6Shape(t *testing.T) {
 
 func TestFig7Shape(t *testing.T) {
 	s := testSuite()
-	pts, err := s.Fig7([]float64{0.05, 0.30})
+	pts, err := s.Fig7(ctx, []float64{0.05, 0.30})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -208,7 +212,7 @@ func TestFig7Shape(t *testing.T) {
 
 func TestFig8Shape(t *testing.T) {
 	s := testSuite()
-	pts, err := s.Fig8([]float64{25, 200})
+	pts, err := s.Fig8(ctx, []float64{25, 200})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +236,7 @@ func TestFig8Shape(t *testing.T) {
 
 func TestFig9Shape(t *testing.T) {
 	s := testSuite()
-	pts, err := s.Fig9([]int{1, 400})
+	pts, err := s.Fig9(ctx, []int{1, 400})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +260,7 @@ func TestFig9Shape(t *testing.T) {
 
 func TestFig10Shape(t *testing.T) {
 	s := testSuite()
-	pts, err := s.Fig10([]float64{3.0e9, 1.064e9})
+	pts, err := s.Fig10(ctx, []float64{3.0e9, 1.064e9})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -17,36 +18,47 @@ import (
 // aside about other memory technologies, and seed-replicated runs that
 // attach dispersion to the headline numbers.
 
-// SeedStats summarizes replicated runs of one configuration.
+// SeedStats summarizes replicated runs of one configuration. All
+// savings values are fractions of baseline energy (0.10 = 10%).
 type SeedStats struct {
-	Scheme   string
-	N        int
-	Mean     float64 // mean savings
-	StdDev   float64
+	// Scheme that was replicated.
+	Scheme string
+	// N is the number of seeds.
+	N int
+	// Mean fractional savings over the N seeds.
+	Mean float64
+	// StdDev is the sample standard deviation of the savings.
+	StdDev float64
+	// Min and Max are the extreme savings observed.
 	Min, Max float64
 }
 
 // MultiSeedSavings reruns a technique over n differently seeded
 // Synthetic-St traces and returns savings statistics — the dispersion
-// behind a Figure 5 point.
-func MultiSeedSavings(d sim.Duration, n int, cfg core.Config) (SeedStats, error) {
+// behind a Figure 5 point. The per-seed runs are independent jobs on
+// r's pool (nil r = sequential).
+func MultiSeedSavings(ctx context.Context, r *Runner, d sim.Duration, n int, cfg core.Config) (SeedStats, error) {
 	if n <= 0 {
 		return SeedStats{}, fmt.Errorf("experiments: %d seeds", n)
 	}
-	var vals []float64
-	for seed := uint64(1); seed <= uint64(n); seed++ {
-		scfg := synth.DefaultSt()
-		scfg.Duration = d
-		scfg.Seed = seed
-		tr, err := synth.GenerateSt(scfg)
-		if err != nil {
-			return SeedStats{}, err
-		}
-		_, _, s, err := core.RunBaselinePair(core.Config{}, cfg, tr)
-		if err != nil {
-			return SeedStats{}, err
-		}
-		vals = append(vals, s)
+	vals, err := mapJobs(ctx, r, n,
+		func(i int) string { return fmt.Sprintf("seeds/%s/seed=%d", cfg.Scheme, i+1) },
+		func(ctx context.Context, i int) (float64, error) {
+			scfg := synth.DefaultSt()
+			scfg.Duration = d
+			scfg.Seed = uint64(i + 1)
+			tr, err := synth.GenerateSt(scfg)
+			if err != nil {
+				return 0, err
+			}
+			_, _, s, err := core.RunBaselinePair(core.Config{}, cfg, tr)
+			if err != nil {
+				return 0, err
+			}
+			return s, nil
+		})
+	if err != nil {
+		return SeedStats{}, err
 	}
 	st := SeedStats{Scheme: cfg.Scheme, N: n, Min: math.Inf(1), Max: math.Inf(-1)}
 	for _, v := range vals {
@@ -70,17 +82,22 @@ func MultiSeedSavings(d sim.Duration, n int, cfg core.Config) (SeedStats, error)
 
 // DSSRow is the decision-support extension result.
 type DSSRow struct {
-	Scheme     string
-	Savings    float64
-	UF         float64
+	// Scheme is "dma-ta" or "dma-ta-pl".
+	Scheme string
+	// Savings is the fractional energy reduction over the baseline.
+	Savings float64
+	// UF is the technique's utilization factor.
+	UF float64
+	// BaselineUF is the baseline's utilization factor.
 	BaselineUF float64
 }
 
 // DSSExtension runs the TPC-H style scan workload (the paper's future
-// work) under both techniques. The result is an honest negative:
-// scan buffers are recycled round-robin, so there is no popularity
-// skew for PL to exploit, and scans already stream near-continuously.
-func DSSExtension(d sim.Duration, seed uint64) ([]DSSRow, error) {
+// work) under both techniques, one job per scheme on r's pool. The
+// result is an honest negative: scan buffers are recycled round-robin,
+// so there is no popularity skew for PL to exploit, and scans already
+// stream near-continuously.
+func DSSExtension(ctx context.Context, r *Runner, d sim.Duration, seed uint64) ([]DSSRow, error) {
 	cfg := server.DefaultDSS()
 	cfg.Duration = d
 	cfg.Seed = seed
@@ -89,39 +106,37 @@ func DSSExtension(d sim.Duration, seed uint64) ([]DSSRow, error) {
 		return nil, err
 	}
 	tr := res.Trace
-	var out []DSSRow
-	for _, c := range []struct {
-		label string
-		cfg   core.Config
-	}{
-		{"dma-ta", taConfig(0.10, nil)},
-		{"dma-ta-pl", taConfig(0.10, plConfig(2))},
-	} {
-		base, tech, savings, err := core.RunBaselinePair(core.Config{}, c.cfg, tr)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, DSSRow{
-			Scheme:     c.label,
-			Savings:    savings,
-			UF:         tech.Report.UtilizationFactor,
-			BaselineUF: base.Report.UtilizationFactor,
+	return mapJobs(ctx, r, len(sweepSchemes),
+		func(i int) string { return "dss/" + sweepSchemes[i] },
+		func(ctx context.Context, i int) (DSSRow, error) {
+			base, tech, savings, err := core.RunBaselinePair(core.Config{}, sweepSchemeConfig(sweepSchemes[i]), tr)
+			if err != nil {
+				return DSSRow{}, err
+			}
+			return DSSRow{
+				Scheme:     sweepSchemes[i],
+				Savings:    savings,
+				UF:         tech.Report.UtilizationFactor,
+				BaselineUF: base.Report.UtilizationFactor,
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // TechRow compares memory technologies (Section 5.4's aside).
 type TechRow struct {
-	Tech       string
-	Ratio      float64 // memory : I/O bandwidth
+	// Tech is the memory part name ("RDRAM-1600", "DDR-400").
+	Tech string
+	// Ratio is memory bandwidth over I/O bus bandwidth.
+	Ratio float64
+	// BaselineUF is the baseline utilization factor on this part.
 	BaselineUF float64
-	Savings    float64
+	// Savings is DMA-TA-PL's fractional energy reduction.
+	Savings float64
 }
 
 // TechExtension runs DMA-TA-PL on RDRAM and DDR400 over the same
-// Synthetic-St arrival process.
-func TechExtension(d sim.Duration, seed uint64) ([]TechRow, error) {
+// Synthetic-St arrival process, one job per technology on r's pool.
+func TechExtension(ctx context.Context, r *Runner, d sim.Duration, seed uint64) ([]TechRow, error) {
 	scfg := synth.DefaultSt()
 	scfg.Duration = d
 	scfg.Seed = seed
@@ -129,24 +144,25 @@ func TechExtension(d sim.Duration, seed uint64) ([]TechRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []TechRow
-	for _, spec := range []*energy.Spec{energy.RDRAM1600(), energy.DDR400()} {
-		base := core.Config{MemSpec: spec}
-		tech := taConfig(0.10, plConfig(2))
-		tech.MemSpec = spec
-		b, t, savings, err := core.RunBaselinePair(base, tech, tr)
-		if err != nil {
-			return nil, err
-		}
-		_ = t
-		out = append(out, TechRow{
-			Tech:       spec.Name,
-			Ratio:      spec.Bandwidth / 1.064e9,
-			BaselineUF: b.Report.UtilizationFactor,
-			Savings:    savings,
+	specs := []func() *energy.Spec{energy.RDRAM1600, energy.DDR400}
+	return mapJobs(ctx, r, len(specs),
+		func(i int) string { return "tech/" + []string{"rdram", "ddr"}[i] },
+		func(ctx context.Context, i int) (TechRow, error) {
+			spec := specs[i]()
+			base := core.Config{MemSpec: spec}
+			tech := taConfig(0.10, plConfig(2))
+			tech.MemSpec = spec
+			b, _, savings, err := core.RunBaselinePair(base, tech, tr)
+			if err != nil {
+				return TechRow{}, err
+			}
+			return TechRow{
+				Tech:       spec.Name,
+				Ratio:      spec.Bandwidth / 1.064e9,
+				BaselineUF: b.Report.UtilizationFactor,
+				Savings:    savings,
+			}, nil
 		})
-	}
-	return out, nil
 }
 
 // FormatDSS renders the decision-support extension.

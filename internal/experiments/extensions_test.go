@@ -8,7 +8,7 @@ import (
 )
 
 func TestMultiSeedSavings(t *testing.T) {
-	st, err := MultiSeedSavings(15*sim.Millisecond, 3, taConfig(0.10, plConfig(2)))
+	st, err := MultiSeedSavings(ctx, NewRunner(4), 15*sim.Millisecond, 3, taConfig(0.10, plConfig(2)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -31,13 +31,13 @@ func TestMultiSeedSavings(t *testing.T) {
 	if FormatSeedStats(st) == "" {
 		t.Fatal("empty rendering")
 	}
-	if _, err := MultiSeedSavings(sim.Millisecond, 0, taConfig(0.1, nil)); err == nil {
+	if _, err := MultiSeedSavings(ctx, nil, sim.Millisecond, 0, taConfig(0.1, nil)); err == nil {
 		t.Fatal("zero seeds accepted")
 	}
 }
 
 func TestDSSExtension(t *testing.T) {
-	rows, err := DSSExtension(40*sim.Millisecond, 13)
+	rows, err := DSSExtension(ctx, NewRunner(2), 40*sim.Millisecond, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +63,7 @@ func TestDSSExtension(t *testing.T) {
 }
 
 func TestTechExtension(t *testing.T) {
-	rows, err := TechExtension(20*sim.Millisecond, 1)
+	rows, err := TechExtension(ctx, nil, 20*sim.Millisecond, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

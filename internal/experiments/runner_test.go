@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"dmamem/internal/metrics"
+)
+
+func TestRunnerNilSequentialOrder(t *testing.T) {
+	var r *Runner
+	var order []int
+	jobs := make([]Job, 5)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Label: "seq", Run: func(context.Context) error {
+			order = append(order, i)
+			return nil
+		}}
+	}
+	// A nil Runner runs on the calling goroutine — appending to a
+	// shared slice without locks is safe and must preserve job order.
+	if err := r.Do(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order broken: %v", order)
+		}
+	}
+}
+
+func TestRunnerFirstErrorInJobOrder(t *testing.T) {
+	sentinel := errors.New("boom")
+	const failAt = 13
+	var ran int32
+	jobs := make([]Job, 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Label: "job-13", Run: func(context.Context) error {
+			atomic.AddInt32(&ran, 1)
+			if i == failAt {
+				return sentinel
+			}
+			return nil
+		}}
+	}
+	err := NewRunner(8).Do(ctx, jobs)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	if !strings.Contains(err.Error(), "job-13") {
+		t.Fatalf("error %q not labeled", err)
+	}
+}
+
+func TestRunnerCancelSkipsSiblings(t *testing.T) {
+	sentinel := errors.New("boom")
+	var started int32
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{Label: "j", Run: func(ctx context.Context) error {
+			atomic.AddInt32(&started, 1)
+			if i == 0 {
+				return sentinel
+			}
+			// Siblings park until the failure cancels them.
+			<-ctx.Done()
+			return nil
+		}}
+	}
+	if err := NewRunner(4).Do(ctx, jobs); !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failure must abort the feed: far fewer than 64 jobs start.
+	if n := atomic.LoadInt32(&started); n >= 64 {
+		t.Fatalf("all %d jobs started despite early failure", n)
+	}
+}
+
+func TestRunnerParentCancellation(t *testing.T) {
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	jobs := []Job{{Label: "never", Run: func(context.Context) error {
+		t.Error("job ran under canceled context")
+		return nil
+	}}}
+	if err := NewRunner(1).Do(canceled, jobs); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential: err = %v", err)
+	}
+	if err := NewRunner(4).Do(canceled, append(jobs, jobs[0], jobs[0])); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallel: err = %v", err)
+	}
+}
+
+func TestMapJobsIndexStable(t *testing.T) {
+	out, err := mapJobs(ctx, NewRunner(8), 32,
+		func(i int) string { return "sq" },
+		func(_ context.Context, i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d: results not reassembled by index", i, v)
+		}
+	}
+}
+
+func TestRunnerRecordsTimings(t *testing.T) {
+	r := NewRunner(2)
+	r.Timings = &metrics.Timings{}
+	jobs := make([]Job, 6)
+	for i := range jobs {
+		jobs[i] = Job{Label: "timed", Run: func(context.Context) error { return nil }}
+	}
+	if err := r.Do(ctx, jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Timings.Count(); got != len(jobs) {
+		t.Fatalf("recorded %d timings, want %d", got, len(jobs))
+	}
+}

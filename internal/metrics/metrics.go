@@ -27,16 +27,17 @@ type Report struct {
 	// the portion actually serving DMA data.
 	UtilizationFactor float64
 
-	// Transfer-level performance.
-	Transfers       int64
+	// Transfer-level performance. All durations are simulated time in
+	// integer picoseconds (sim.Duration).
+	Transfers       int64        // DMA transfers completed
 	MeanServiceTime sim.Duration // mean transfer residency (arrival -> completion)
-	P95ServiceTime  sim.Duration
-	MaxServiceTime  sim.Duration
+	P95ServiceTime  sim.Duration // 95th-percentile transfer residency
+	MaxServiceTime  sim.Duration // worst-case transfer residency
 	MeanGatherDelay sim.Duration // mean DMA-TA gating delay per transfer
 
 	// Power-management activity.
-	Wakes      int64
-	Migrations int64
+	Wakes      int64 // chip transitions out of a low-power state
+	Migrations int64 // PL page migrations performed
 	// Residency is the chip-time spent resident in each power state
 	// (active, standby, nap, powerdown), summed over chips.
 	Residency [4]sim.Duration

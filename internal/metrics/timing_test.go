@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimingsConcurrentAdd(t *testing.T) {
+	var tm Timings // zero value ready to use
+	var wg sync.WaitGroup
+	const n = 50
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tm.Add("job", time.Millisecond)
+		}()
+	}
+	wg.Wait()
+	if tm.Count() != n {
+		t.Fatalf("Count = %d, want %d", tm.Count(), n)
+	}
+	if tm.TotalWork() != n*time.Millisecond {
+		t.Fatalf("TotalWork = %v", tm.TotalWork())
+	}
+}
+
+func TestTimingsJobsSorted(t *testing.T) {
+	var tm Timings
+	tm.Add("c", 3*time.Millisecond)
+	tm.Add("a", time.Millisecond)
+	tm.Add("b", 2*time.Millisecond)
+	jobs := tm.Jobs()
+	if len(jobs) != 3 || jobs[0].Label != "a" || jobs[1].Label != "b" || jobs[2].Label != "c" {
+		t.Fatalf("jobs not sorted by label: %+v", jobs)
+	}
+	// Jobs returns a copy: mutating it must not affect the accumulator.
+	jobs[0].Wall = time.Hour
+	if tm.TotalWork() != 6*time.Millisecond {
+		t.Fatal("Jobs did not copy")
+	}
+}
+
+func TestTimingsSpeedup(t *testing.T) {
+	var tm Timings
+	tm.Add("a", 4*time.Second)
+	tm.Add("b", 4*time.Second)
+	if got := tm.Speedup(2 * time.Second); got != 4.0 {
+		t.Fatalf("Speedup = %g, want 4", got)
+	}
+	if got := tm.Speedup(0); got != 0 {
+		t.Fatalf("Speedup(0) = %g, want 0", got)
+	}
+}
+
+func TestTimingsSummary(t *testing.T) {
+	var tm Timings
+	tm.Add("fig5/OLTP-St/dma-ta/cp=0.10", 10*time.Millisecond)
+	tm.Add("fast", time.Millisecond)
+	out := tm.Summary(11 * time.Millisecond)
+	if !strings.Contains(out, "2 jobs") {
+		t.Errorf("summary lacks job count:\n%s", out)
+	}
+	if !strings.Contains(out, "fig5/OLTP-St/dma-ta/cp=0.10") {
+		t.Errorf("summary lacks slowest job:\n%s", out)
+	}
+}

@@ -9,6 +9,19 @@
 // Events scheduled for the same instant fire in the order of a
 // secondary priority and, within equal priority, in scheduling order,
 // which makes simulations bit-reproducible across runs.
+//
+// # Ownership contract
+//
+// An Engine and every model scheduled on it belong to a single
+// goroutine. The kernel takes no locks: Schedule, Cancel, Run and Step
+// mutate the event heap directly, and handlers run synchronously
+// inside Run on the calling goroutine. Sharing one Engine between
+// goroutines is a data race by construction.
+//
+// Distinct engines share no state at all, so parallel experiments run
+// one independent Engine per goroutine — one simulation per job —
+// which keeps every run bit-reproducible regardless of how many run
+// concurrently (see internal/experiments.Runner).
 package sim
 
 import (
@@ -110,6 +123,11 @@ func (q *eventQueue) Pop() any {
 
 // Engine is a single-threaded discrete-event simulation loop.
 // The zero value is not usable; call New.
+//
+// An Engine is owned by exactly one goroutine: none of its methods are
+// safe for concurrent use. Run simulations in parallel by giving each
+// goroutine its own Engine — engines share no state, so concurrent
+// runs are fully isolated and each remains deterministic.
 type Engine struct {
 	now     Time
 	queue   eventQueue

@@ -76,8 +76,11 @@ const (
 )
 
 // AppendDMA appends a DMA transfer of pages consecutive pages starting
-// at page, carried by I/O bus bus. Records must be appended in time
-// order; toMemory selects the direction (true = device writes memory).
+// at page, carried by I/O bus bus. Page size is the third value of
+// MemoryGeometry (8 KB). Records must be appended in time order;
+// toMemory selects the direction (true = device writes memory).
+// Internally at is stored in integer picoseconds, the simulator's
+// native resolution.
 func (tr *Trace) AppendDMA(at time.Duration, src DMASource, bus int, page, pages int, toMemory bool) error {
 	kind := trace.DMARead
 	if toMemory {
