@@ -258,16 +258,22 @@ func BenchmarkFig10BandwidthRatio(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: events
 // and transfers per second of wall time over the baseline Synthetic-St
-// run.
+// run. -benchmem (or the ReportAllocs below) shows the hot-path
+// allocation behavior; events/sec is attached as a custom metric.
 func BenchmarkSimulatorThroughput(b *testing.B) {
 	tr, err := SyntheticStorageTrace(SyntheticOptions{Duration: 25_000_000, Seed: 1})
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
+	var events uint64
 	for i := 0; i < b.N; i++ {
-		if _, err := Run(Simulation{}, tr); err != nil {
+		r, err := Run(Simulation{}, tr)
+		if err != nil {
 			b.Fatal(err)
 		}
+		events += r.Events
 	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
 }

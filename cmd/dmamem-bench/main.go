@@ -4,13 +4,17 @@
 // Usage:
 //
 //	dmamem-bench [-duration 100ms] [-seed 1] [-parallel N] [-timing]
+//	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	             [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2|dss|tech|seeds]
 //
 // Each figure prints the same series the paper plots; EXPERIMENTS.md
 // records the paper-vs-measured comparison. Independent simulation
 // runs are fanned across -parallel worker goroutines (default
 // GOMAXPROCS); the printed output is byte-identical at any
-// parallelism. -timing prints a per-run wall-clock summary to stderr.
+// parallelism. -timing prints a per-run wall-clock summary to stderr,
+// including events/sec and allocations per event when available.
+// -cpuprofile and -memprofile write pprof profiles of the whole run
+// for `go tool pprof`.
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -28,34 +33,74 @@ import (
 	"dmamem/internal/sim"
 )
 
-func main() {
+func main() { os.Exit(realMain()) }
+
+// realMain carries the exit code back to main so deferred cleanup —
+// profile writers in particular — runs on the error paths too.
+func realMain() int {
 	duration := flag.Duration("duration", 100*time.Millisecond, "trace duration")
 	dbDuration := flag.Duration("db-duration", 25*time.Millisecond, "database trace duration (denser traces)")
 	seed := flag.Uint64("seed", 1, "generator seed")
 	fig := flag.String("fig", "all", "which figure/table to regenerate")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulation runs (1 = sequential)")
 	timing := flag.Bool("timing", false, "print a per-run wall-clock timing summary to stderr")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // flush recent allocations into the profile
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+			}
+		}()
+	}
+
 	runner := experiments.NewRunner(*parallel)
+	var memBefore runtime.MemStats
 	if *timing {
 		runner.Timings = &metrics.Timings{}
+		runtime.ReadMemStats(&memBefore)
 	}
 	s := experiments.NewSuite(fromStd(*duration), *seed)
 	s.DbDuration = fromStd(*dbDuration)
 	s.Runner = runner
 	start := time.Now()
 
+	failed := false
 	run := func(name string, f func() error) {
-		if *fig != "all" && *fig != name {
+		if failed || (*fig != "all" && *fig != name) {
 			return
 		}
 		if err := f(); err != nil {
 			fmt.Fprintf(os.Stderr, "dmamem-bench: %s: %v\n", name, err)
-			os.Exit(1)
+			failed = true
+			return
 		}
 		fmt.Println()
 	}
@@ -180,8 +225,15 @@ func main() {
 	})
 
 	if *timing {
+		var memAfter runtime.MemStats
+		runtime.ReadMemStats(&memAfter)
+		runner.Timings.SetAllocs(memAfter.Mallocs - memBefore.Mallocs)
 		fmt.Fprint(os.Stderr, runner.Timings.Summary(time.Since(start)))
 	}
+	if failed {
+		return 1
+	}
+	return 0
 }
 
 func fromStd(d time.Duration) sim.Duration {

@@ -88,6 +88,8 @@ type Allocator struct {
 	remChip   map[int]float64
 	busCount  []int
 	chipCount map[int]int
+	rates     []float64
+	frozen    []bool
 }
 
 // NewAllocator builds an allocator for buses with the given capacities
@@ -118,7 +120,14 @@ func NewAllocator(busCap []float64, chipCap float64) *Allocator {
 // subject to sum(rates on bus b) <= busCap[b] and sum(rates into chip
 // c) <= chipCap. The result slice is valid until the next call.
 func (a *Allocator) Allocate(flows []Flow) []float64 {
-	rates := make([]float64, len(flows))
+	if cap(a.rates) < len(flows) {
+		a.rates = make([]float64, len(flows))
+		a.frozen = make([]bool, len(flows))
+	}
+	rates := a.rates[:len(flows)]
+	for i := range rates {
+		rates[i] = 0
+	}
 	if len(flows) == 0 {
 		return rates
 	}
@@ -136,7 +145,10 @@ func (a *Allocator) Allocate(flows []Flow) []float64 {
 		a.chipCount[f.Chip]++
 		a.remChip[f.Chip] = a.chipCap
 	}
-	frozen := make([]bool, len(flows))
+	frozen := a.frozen[:len(flows)]
+	for i := range frozen {
+		frozen[i] = false
+	}
 	remaining := len(flows)
 
 	for remaining > 0 {

@@ -19,18 +19,93 @@ const (
 	prioEpoch      int8 = 4
 )
 
-// accountAll charges every resident-Active chip for the span since its
-// accounting cursor: serving time from the fluid rates, accumulated
-// processor service, and the residual idle (transfer idle when a
-// stream is in progress, threshold idle otherwise). It also drains
-// flow remainders and deposits TA slack credits for the DMA-memory
-// requests that arrived during the span. Every event handler calls it
-// first, before mutating flow or power state.
+// Dirty-set accounting. Every event handler calls accountAll first,
+// before mutating flow or power state, so each chip's active span is
+// charged with the rates that actually held over it. Charging *every*
+// active chip on every event is wasteful, though: a chip with no flows
+// and no pending processor work only accrues threshold idle, which is
+// a pure function of elapsed time. Such chips are left out of the
+// dirty set and their idle backlog is settled lazily — when they next
+// become interesting (markDirty), when their policy timer fires, or at
+// Finish.
+//
+// The lazy charge is exact, not approximate: chips accumulate active
+// span components as integer picosecond durations and convert to
+// joules once at Close (see memsys.Chip), so charging an idle stretch
+// in one span or in fifty yields bit-identical energy. Chips with
+// flows or pending processor work stay in the dirty set and are
+// charged at every accountAll instant — their spans need the same
+// boundaries as a full scan because rates, remainders, slack credits
+// and the processor-work clamp all depend on per-span values. The
+// dirty set is kept sorted by chip ID so that order-sensitive global
+// float accumulation (the TA slack credit) happens in full-scan order.
+//
+// Config.FullScanAccounting retains the original every-chip scan; the
+// cross-check test in internal/experiments proves both modes produce
+// bit-identical reports.
+
+// accountAll charges the span since the last accounting instant:
+// serving time from the fluid rates, accumulated processor service,
+// and the residual idle (transfer idle when a stream is in progress,
+// threshold idle otherwise). It also drains flow remainders and
+// deposits TA slack credits for the DMA-memory requests that arrived
+// during the span.
 func (c *Controller) accountAll(now sim.Time) {
-	for _, cs := range c.chips {
-		if !cs.chip.Resident() || cs.chip.State() != energy.Active {
-			continue
+	if c.fullScan {
+		for _, cs := range c.chips {
+			if !cs.chip.Resident() || cs.chip.State() != energy.Active {
+				continue
+			}
+			c.accountChip(cs, now)
 		}
+		c.lastAccount = now
+		return
+	}
+	keep := c.dirtyChips[:0]
+	for _, cs := range c.dirtyChips {
+		if cs.chip.Resident() && cs.chip.State() == energy.Active {
+			c.accountChip(cs, now)
+		}
+		if len(cs.flows) > 0 || cs.procBusy > 0 {
+			keep = append(keep, cs)
+		} else {
+			cs.dirty = false
+		}
+	}
+	for i := len(keep); i < len(c.dirtyChips); i++ {
+		c.dirtyChips[i] = nil
+	}
+	c.dirtyChips = keep
+	c.lastAccount = now
+}
+
+// markDirty adds a resident-Active chip to the dirty set. A clean chip
+// has been idle since it was dropped from the set, so its backlog up
+// to the last global accounting instant is settled first — that way
+// its next accounted span starts at the same boundary a full scan
+// would use. (Settling only to lastAccount matters: ProcAccess marks
+// dirty without running accountAll, so now > lastAccount there.)
+func (c *Controller) markDirty(cs *chipState) {
+	if c.fullScan || cs.dirty {
+		return
+	}
+	if cs.chip.Resident() && cs.chip.State() == energy.Active && c.lastAccount > cs.chip.Cursor() {
+		c.accountChip(cs, c.lastAccount)
+	}
+	cs.dirty = true
+	c.dirtyChips = append(c.dirtyChips, cs)
+	// Insertion sort by chip ID; the set is small and insertions rare.
+	for i := len(c.dirtyChips) - 1; i > 0 && c.dirtyChips[i-1].chip.ID > cs.chip.ID; i-- {
+		c.dirtyChips[i-1], c.dirtyChips[i] = c.dirtyChips[i], c.dirtyChips[i-1]
+	}
+}
+
+// settle charges a resident-Active chip up to now. Dirty chips are
+// already settled by accountAll; for clean chips this charges the pure
+// idle backlog in one exact span. Used where the chip model requires a
+// current cursor (BeginSleep) and at Finish.
+func (c *Controller) settle(cs *chipState, now sim.Time) {
+	if now > cs.chip.Cursor() {
 		c.accountChip(cs, now)
 	}
 }
@@ -51,7 +126,10 @@ func (c *Controller) accountChip(cs *chipState, now sim.Time) {
 	var delivered float64 // bytes in this span
 	var notCovered = 1.0  // prod over buses of (1 - f_b)
 	if len(cs.flows) > 0 {
-		var busRate [64]float64
+		busRate := c.busRateScratch
+		for i := range busRate {
+			busRate[i] = 0
+		}
 		for _, f := range cs.flows {
 			d := f.rate * span.Seconds()
 			if d > f.remaining {
@@ -113,35 +191,48 @@ func (c *Controller) accountChip(cs *chipState, now sim.Time) {
 	}
 }
 
+// completionDelay converts a flow's remaining bytes at its allocated
+// rate into the time until the flow drains. The allocator guarantees
+// strictly positive rates (progressive filling hands every flow its
+// first-round share before any freeze), so a non-positive or NaN rate
+// is a controller bug; without the guard it would flow through
+// math.Ceil as +Inf and hit an implementation-defined float-to-int64
+// conversion instead of failing loudly.
+func completionDelay(remaining, rate float64) sim.Duration {
+	if !(rate > 0) {
+		panic(fmt.Sprintf("controller: flow rate %g (remaining %g bytes) is not positive", rate, remaining))
+	}
+	dt := sim.Duration(math.Ceil(remaining / rate * 1e12))
+	if dt < 1 {
+		dt = 1
+	}
+	return dt
+}
+
 // recompute reallocates rates after any change to the flow set and
 // schedules the next completion event. Callers must have called
-// accountAll(now) immediately before.
+// accountAll(now) immediately before. Scratch buffers are reused
+// across calls, so the controller steady state allocates nothing.
 func (c *Controller) recompute(now sim.Time) {
 	c.eng.Cancel(c.complEvt)
-	for _, cs := range c.chips {
-		cs.sumRate = 0
-	}
 	if len(c.allFlows) == 0 {
 		return
 	}
-	fl := make([]bus.Flow, len(c.allFlows))
-	for i, f := range c.allFlows {
-		fl[i] = bus.Flow{Bus: f.bus, Chip: f.chip}
+	c.flowScratch = c.flowScratch[:0]
+	for _, f := range c.allFlows {
+		c.flowScratch = append(c.flowScratch, bus.Flow{Bus: f.bus, Chip: f.chip})
+		c.chips[f.chip].sumRate = 0
 	}
-	rates := c.alloc.Allocate(fl)
+	rates := c.alloc.Allocate(c.flowScratch)
 	next := sim.Time(math.MaxInt64)
 	for i, f := range c.allFlows {
 		f.rate = rates[i]
 		c.chips[f.chip].sumRate += f.rate
-		dt := sim.Duration(math.Ceil(f.remaining / f.rate * 1e12))
-		if dt < 1 {
-			dt = 1
-		}
-		if t := now.Add(dt); t < next {
+		if t := now.Add(completionDelay(f.remaining, f.rate)); t < next {
 			next = t
 		}
 	}
-	c.complEvt = c.eng.SchedulePrio(next, prioCompletion, c.onCompletion)
+	c.complEvt = c.eng.SchedulePrio(next, prioCompletion, c.onCompletionFn)
 }
 
 // onCompletion fires when the earliest flow drains.
@@ -150,7 +241,7 @@ func (c *Controller) onCompletion(e *sim.Engine) {
 	c.accountAll(now)
 	// Collect finished flows (sub-byte residue counts as done).
 	const eps = 1e-3
-	var finished []*flow
+	finished := c.finishedScratch[:0]
 	kept := c.allFlows[:0]
 	for _, f := range c.allFlows {
 		if f.remaining <= eps {
@@ -159,8 +250,12 @@ func (c *Controller) onCompletion(e *sim.Engine) {
 			kept = append(kept, f)
 		}
 	}
+	for i := len(kept); i < len(c.allFlows); i++ {
+		c.allFlows[i] = nil
+	}
 	c.allFlows = kept
 	if len(finished) == 0 {
+		c.finishedScratch = finished
 		// Numerical near-miss: reschedule from fresh remainders.
 		c.recompute(now)
 		return
@@ -168,18 +263,28 @@ func (c *Controller) onCompletion(e *sim.Engine) {
 	for _, f := range finished {
 		cs := c.chips[f.chip]
 		removeFlow(&cs.flows, f)
+		if len(cs.flows) == 0 {
+			cs.sumRate = 0
+		}
 		c.advanceTransfer(f.x, now)
 	}
 	for _, f := range finished {
 		c.maybeIdle(c.chips[f.chip], now)
 	}
+	for i := range finished {
+		finished[i] = nil
+	}
+	c.finishedScratch = finished[:0]
 	c.recompute(now)
 }
 
 func removeFlow(flows *[]*flow, f *flow) {
 	for i, g := range *flows {
 		if g == f {
-			*flows = append((*flows)[:i], (*flows)[i+1:]...)
+			last := len(*flows) - 1
+			copy((*flows)[i:], (*flows)[i+1:])
+			(*flows)[last] = nil
+			*flows = (*flows)[:last]
 			return
 		}
 	}

@@ -96,6 +96,13 @@ type Config struct {
 	// paper's RDRAM part. Geometry.ChipBandwidth should match the
 	// spec's bandwidth.
 	MemSpec *energy.Spec
+	// FullScanAccounting disables the dirty-set optimization and
+	// charges every resident-Active chip on every event, as the
+	// original implementation did. Reports are bit-identical either
+	// way (the cross-check test in internal/experiments proves it);
+	// the full scan is kept as the reference mode for that proof and
+	// for debugging.
+	FullScanAccounting bool
 }
 
 // Validate reports a descriptive error for unusable configs.
@@ -163,6 +170,15 @@ type chipState struct {
 	// wakePending marks a wake sequence in flight (possibly waiting for
 	// a down transition to finish first).
 	wakePending bool
+	// dirty marks membership in the controller's dirty set (see
+	// account.go).
+	dirty bool
+	// Cached event handlers, created once in New so scheduling a
+	// policy step, wake completion or sleep completion allocates no
+	// closure on the hot path.
+	policyFn sim.Handler
+	wakeFn   sim.Handler
+	sleepFn  sim.Handler
 }
 
 // Controller is the simulator core for one run. Use New, feed events
@@ -178,6 +194,22 @@ type Controller struct {
 
 	allFlows []*flow
 	complEvt sim.EventID
+
+	// Dirty-set accounting state (see account.go). dirtyChips is kept
+	// sorted by chip ID; lastAccount is the instant of the last global
+	// accountAll.
+	fullScan    bool
+	dirtyChips  []*chipState
+	lastAccount sim.Time
+
+	// Reusable hot-path scratch, sized once in New.
+	busRateScratch  []float64  // accountChip per-bus rate sums
+	busSeenScratch  []bool     // distinctGatedBuses
+	busCountScratch []int      // maxPerBus
+	flowScratch     []bus.Flow // recompute allocator input
+	finishedScratch []*flow    // onCompletion drained flows
+	onCompletionFn  sim.Handler
+	onEpochFn       sim.Handler
 
 	// DMA-TA state.
 	taOn     bool
@@ -249,9 +281,20 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 		mapper:   mapper,
 		lineTime: cfg.Geometry.CacheLineServiceTime(),
 		reqBytes: memsys.RequestBytes,
+
+		fullScan:        cfg.FullScanAccounting,
+		lastAccount:     eng.Now(),
+		busRateScratch:  make([]float64, cfg.Buses.Count),
+		busSeenScratch:  make([]bool, cfg.Buses.Count),
+		busCountScratch: make([]int, cfg.Buses.Count),
 	}
+	c.onCompletionFn = c.onCompletion
+	c.onEpochFn = c.onEpoch
 	for i := 0; i < cfg.Geometry.NumChips; i++ {
 		cs := &chipState{chip: memsys.NewChipWithSpec(i, cfg.InitialState, eng.Now(), spec)}
+		cs.policyFn = func(e *sim.Engine) { c.onPolicyTimer(cs, e) }
+		cs.wakeFn = func(e *sim.Engine) { c.onWakeComplete(cs, e) }
+		cs.sleepFn = func(e *sim.Engine) { c.onSleepComplete(cs, e) }
 		c.chips = append(c.chips, cs)
 		if cfg.InitialState == energy.Active {
 			c.armPolicyTimer(cs, eng.Now())

@@ -1,0 +1,136 @@
+package controller
+
+import (
+	"math"
+	"testing"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/dma"
+	"dmamem/internal/energy"
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+// manyBusConfig returns a configuration with more buses than the 64
+// the old fixed-size accounting arrays silently assumed.
+func manyBusConfig() Config {
+	cfg := baseConfig()
+	cfg.Buses = bus.Config{Count: 80, Bandwidth: bus.PCIXBandwidth}
+	return cfg
+}
+
+// TestManyBusesBaseline is the regression test for the fixed-size
+// [64]float64 per-bus rate array in accountChip: a transfer on bus 70
+// of an 80-bus system panicked with index-out-of-range before the
+// array became a slice sized from the config.
+func TestManyBusesBaseline(t *testing.T) {
+	cfg := manyBusConfig()
+	cfg.InitialState = energy.Active
+	x := dma.Transfer{ID: 1, Arrival: sim.Time(sim.Microsecond), Bus: 70, Page: 0, Pages: 1}
+	c, eng := run(t, cfg, []dma.Transfer{x}, nil)
+	end := c.Finish(eng.Now())
+	r := c.Report("baseline", end)
+	if r.Transfers != 1 {
+		t.Fatalf("transfers = %d, want 1", r.Transfers)
+	}
+	if r.Energy.Total() <= 0 {
+		t.Fatal("no energy accounted")
+	}
+}
+
+// TestManyBusesGated drives the DMA-TA gating bookkeeping
+// (distinctGatedBuses / maxPerBus) with a bus index above 64, which
+// overran their fixed-size scratch arrays before they were sized from
+// the config.
+func TestManyBusesGated(t *testing.T) {
+	cfg := manyBusConfig()
+	cfg.TA = DefaultTA(2.0)
+	xs := []dma.Transfer{
+		{ID: 1, Arrival: sim.Time(sim.Microsecond), Bus: 70, Page: 0, Pages: 1},
+		{ID: 2, Arrival: sim.Time(2 * sim.Microsecond), Bus: 79, Page: 8, Pages: 1},
+	}
+	c, eng := run(t, cfg, xs, nil)
+	end := c.Finish(eng.Now())
+	r := c.Report("dma-ta", end)
+	if r.Transfers != 2 {
+		t.Fatalf("transfers = %d, want 2", r.Transfers)
+	}
+}
+
+// TestCompletionDelay covers the guard on the remaining/rate division:
+// the allocator can only produce positive rates, so a non-positive or
+// NaN rate must panic with a diagnostic instead of converting +Inf to
+// an implementation-defined int64.
+func TestCompletionDelay(t *testing.T) {
+	if got := completionDelay(8.0, 2.0); got != 4*sim.Second {
+		t.Fatalf("completionDelay = %v, want 4s", got)
+	}
+	if got := completionDelay(0, 1); got != 1 {
+		t.Fatalf("zero remaining: %v, want the 1ps floor", got)
+	}
+	for _, rate := range []float64{0, -1, math.NaN()} {
+		rate := rate
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("completionDelay(1, %g) did not panic", rate)
+				}
+			}()
+			completionDelay(1, rate)
+		}()
+	}
+}
+
+// TestClampedProcSpansReported drives the processor-work clamp — more
+// pending processor service than the accounting span can absorb — and
+// checks the previously write-only counter now reaches the report.
+func TestClampedProcSpansReported(t *testing.T) {
+	cfg := baseConfig()
+	cfg.InitialState = energy.Active
+	// 500 same-instant accesses to chip 0 pile up ~10 us of pending
+	// service; the transfer arriving 1 ns later bounds the accounting
+	// span at 1 ns, forcing the clamp to spill the rest.
+	var procs []trace.Record
+	for i := 0; i < 500; i++ {
+		procs = append(procs, trace.Record{Time: sim.Time(sim.Microsecond), Page: 0})
+	}
+	x := dma.Transfer{ID: 1, Arrival: sim.Time(sim.Microsecond + sim.Nanosecond), Bus: 0, Page: 1, Pages: 1}
+	c, eng := run(t, cfg, []dma.Transfer{x}, procs)
+	end := c.Finish(eng.Now())
+	r := c.Report("baseline", end)
+	if r.ClampedProcSpans <= 0 {
+		t.Fatalf("ClampedProcSpans = %d, want > 0", r.ClampedProcSpans)
+	}
+}
+
+// TestControllerSteadyStateZeroAlloc is the allocation guard for the
+// controller hot path: with a standing flow, the per-event work —
+// dirty-set accounting, rate reallocation, completion rescheduling,
+// processor-access bookkeeping — must not allocate once the scratch
+// buffers are warm.
+func TestControllerSteadyStateZeroAlloc(t *testing.T) {
+	cfg := baseConfig()
+	cfg.InitialState = energy.Active
+	eng := sim.New()
+	c, err := New(eng, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := dma.Transfer{ID: 1, Arrival: sim.Time(sim.Microsecond), Bus: 0, Page: 0, Pages: 64}
+	eng.SchedulePrio(x.Arrival, prioArrival, func(*sim.Engine) { c.StartTransfer(x) })
+	eng.RunUntil(sim.Time(2 * sim.Microsecond))
+	if len(c.allFlows) == 0 {
+		t.Fatal("no standing flow to measure against")
+	}
+
+	now := eng.Now()
+	allocs := testing.AllocsPerRun(200, func() {
+		now = now.Add(100 * sim.Nanosecond)
+		c.ProcAccess(0)
+		c.accountAll(now)
+		c.recompute(now)
+	})
+	if allocs != 0 {
+		t.Fatalf("controller steady state allocated %.1f allocs/op, want 0", allocs)
+	}
+}

@@ -29,7 +29,7 @@ func (c *Controller) scheduleWake(cs *chipState, now sim.Time) {
 		}
 		c.chargeWake(cs)
 		ready := cs.chip.BeginWake(now)
-		c.eng.SchedulePrio(ready, prioWake, func(e *sim.Engine) { c.onWakeComplete(cs, e) })
+		c.eng.SchedulePrio(ready, prioWake, cs.wakeFn)
 	case memsys.PhaseSleeping:
 		// onSleepComplete observes wakePending and chains into the
 		// wake; nothing to schedule here.
@@ -47,6 +47,10 @@ func (c *Controller) onWakeComplete(cs *chipState, e *sim.Engine) {
 	c.accountAll(now)
 	cs.chip.CompleteWake(now)
 	cs.wakePending = false
+	// The chip just became resident-Active with its cursor at now; it
+	// joins the dirty set so the drained processor queue and any
+	// starting flows are charged from here on.
+	c.markDirty(cs)
 
 	if cs.procQueue > 0 {
 		// Processor-access slack charge (Section 4.1.3): service time
@@ -104,8 +108,7 @@ func (c *Controller) armPolicyTimer(cs *chipState, now sim.Time) {
 	if !ok {
 		return
 	}
-	cs.idleTimer = c.eng.SchedulePrio(now.Add(wait), prioPolicy,
-		func(e *sim.Engine) { c.onPolicyTimer(cs, e) })
+	cs.idleTimer = c.eng.SchedulePrio(now.Add(wait), prioPolicy, cs.policyFn)
 }
 
 func (c *Controller) cancelPolicyTimer(cs *chipState) {
@@ -134,11 +137,15 @@ func (c *Controller) onPolicyTimer(cs *chipState, e *sim.Engine) {
 	}
 	var ready sim.Time
 	if cs.chip.State() == energy.Active {
+		// A clean chip's idle backlog has not been charged yet
+		// (accountAll only touches the dirty set); BeginSleep requires
+		// the cursor at now.
+		c.settle(cs, now)
 		ready = cs.chip.BeginSleep(next, now)
 	} else {
 		ready = cs.chip.Deepen(next, now)
 	}
-	c.eng.SchedulePrio(ready, prioWake, func(e *sim.Engine) { c.onSleepComplete(cs, e) })
+	c.eng.SchedulePrio(ready, prioWake, cs.sleepFn)
 }
 
 // onSleepComplete settles a downward transition, then either chains
@@ -149,7 +156,7 @@ func (c *Controller) onSleepComplete(cs *chipState, e *sim.Engine) {
 	if cs.wakePending {
 		c.chargeWake(cs)
 		ready := cs.chip.BeginWake(now)
-		c.eng.SchedulePrio(ready, prioWake, func(e *sim.Engine) { c.onWakeComplete(cs, e) })
+		c.eng.SchedulePrio(ready, prioWake, cs.wakeFn)
 		return
 	}
 	c.armPolicyTimer(cs, now)
@@ -180,6 +187,10 @@ func (c *Controller) ProcAccess(page memsys.PageID) {
 	cs := c.chips[c.mapper.ChipOf(page)]
 	c.procAccesses++
 	if cs.chip.Resident() && cs.chip.State() == energy.Active {
+		// Joining the dirty set settles the chip's idle backlog up to
+		// the last accountAll instant, so the pending processor work
+		// is clamped against the same span a full scan would use.
+		c.markDirty(cs)
 		cs.procBusy += c.lineTime
 		if c.taOn && len(cs.gated) > 0 {
 			c.slack -= float64(c.lineTime) * float64(len(cs.gated))

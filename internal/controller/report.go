@@ -26,7 +26,7 @@ func (c *Controller) Finish(endFloor sim.Time) sim.Time {
 			panic(fmt.Sprintf("controller: chip %d still has work after drain", cs.chip.ID))
 		}
 		if cs.chip.Resident() && cs.chip.State() == energy.Active {
-			c.accountChip(cs, end)
+			c.settle(cs, end)
 		}
 		cs.chip.Close(end)
 	}
@@ -37,9 +37,11 @@ func (c *Controller) Finish(endFloor sim.Time) sim.Time {
 // configuration; end is the instant returned by Finish.
 func (c *Controller) Report(scheme string, end sim.Time) *metrics.Report {
 	r := &metrics.Report{
-		Scheme:        scheme,
-		SimulatedTime: sim.Duration(end),
-		Transfers:     c.transfers,
+		Scheme:           scheme,
+		SimulatedTime:    sim.Duration(end),
+		Transfers:        c.transfers,
+		Events:           c.eng.Steps(),
+		ClampedProcSpans: c.clampedProc,
 	}
 	var transferTime, servingTime sim.Duration
 	for _, cs := range c.chips {

@@ -125,6 +125,7 @@ func (c *Controller) startFlow(cs *chipState, x *xferState, now sim.Time) {
 		panic("controller: startFlow without a segment")
 	}
 	c.cancelPolicyTimer(cs)
+	c.markDirty(cs)
 	f := &flow{
 		x:         x,
 		chip:      x.seg.Chip,
@@ -166,8 +167,11 @@ func (c *Controller) gate(cs *chipState, x *xferState, now sim.Time) {
 
 // distinctGatedBuses counts buses with at least one gated transfer on
 // the chip.
-func (cs *chipState) distinctGatedBuses() int {
-	var seen [64]bool
+func (c *Controller) distinctGatedBuses(cs *chipState) int {
+	seen := c.busSeenScratch
+	for i := range seen {
+		seen[i] = false
+	}
 	n := 0
 	for _, x := range cs.gated {
 		if !seen[x.t.Bus] {
@@ -179,8 +183,11 @@ func (cs *chipState) distinctGatedBuses() int {
 }
 
 // maxPerBus returns m = max_i n_i over the chip's gated transfers.
-func (cs *chipState) maxPerBus() int {
-	var counts [64]int
+func (c *Controller) maxPerBus(cs *chipState) int {
+	counts := c.busCountScratch
+	for i := range counts {
+		counts[i] = 0
+	}
 	m := 0
 	for _, x := range cs.gated {
 		counts[x.t.Bus]++
@@ -201,7 +208,7 @@ func (c *Controller) checkRelease(cs *chipState, now sim.Time) {
 	if n == 0 {
 		return
 	}
-	if cs.distinctGatedBuses() >= c.k {
+	if c.distinctGatedBuses(cs) >= c.k {
 		c.RelGathered += int64(n)
 		c.release(cs, now)
 		return
@@ -213,7 +220,7 @@ func (c *Controller) checkRelease(cs *chipState, now sim.Time) {
 			return
 		}
 	}
-	m := cs.maxPerBus()
+	m := c.maxPerBus(cs)
 	r := c.cfg.Buses.Count
 	groups := (r + c.k - 1) / c.k
 	u := float64(m) * float64(c.T()) * float64(groups)
@@ -246,7 +253,7 @@ func (c *Controller) ensureEpoch(now sim.Time) {
 	if c.epochEvt.Valid() || c.nGated == 0 {
 		return
 	}
-	c.epochEvt = c.eng.SchedulePrio(now.Add(c.cfg.TA.EpochLength), prioEpoch, c.onEpoch)
+	c.epochEvt = c.eng.SchedulePrio(now.Add(c.cfg.TA.EpochLength), prioEpoch, c.onEpochFn)
 }
 
 // onEpoch charges the pessimistic epoch cost (epochLength * pending)
@@ -263,7 +270,7 @@ func (c *Controller) onEpoch(e *sim.Engine) {
 		}
 	}
 	if c.nGated > 0 {
-		c.epochEvt = c.eng.SchedulePrio(now.Add(c.cfg.TA.EpochLength), prioEpoch, c.onEpoch)
+		c.epochEvt = c.eng.SchedulePrio(now.Add(c.cfg.TA.EpochLength), prioEpoch, c.onEpochFn)
 	}
 	c.recompute(now)
 }

@@ -62,6 +62,11 @@ type Config struct {
 	// Scheme labels the report; empty derives "baseline"/"dma-ta"/
 	// "dma-ta-pl" from TA and PL.
 	Scheme string
+	// FullScanAccounting makes the controller charge every active chip
+	// on every event instead of using its dirty-set accounting.
+	// Results are bit-identical either way; the knob exists for the
+	// cross-check test and debugging.
+	FullScanAccounting bool
 }
 
 // withDefaults returns a fully populated copy.
@@ -106,6 +111,16 @@ type Result struct {
 	MigratedPages    int64
 	MigrationEnergyJ float64
 	Rebalances       int64
+}
+
+// SimEvents returns the number of simulation events the run
+// dispatched; the experiment runner uses it for events/sec throughput
+// reporting.
+func (r *Result) SimEvents() uint64 {
+	if r == nil || r.Report == nil {
+		return 0
+	}
+	return r.Report.Events
 }
 
 // Calibrate derives the CP-Limit -> mu calibration from a trace: the
@@ -163,13 +178,14 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 
 	res := &Result{}
 	ccfg := controller.Config{
-		Geometry:     cfg.Geometry,
-		Buses:        cfg.Buses,
-		Policy:       cfg.Policy,
-		TA:           cfg.TA,
-		Mapper:       cfg.Mapper,
-		MemSpec:      cfg.MemSpec,
-		InitialState: 0, // Active; the policy idles chips down immediately
+		Geometry:           cfg.Geometry,
+		Buses:              cfg.Buses,
+		Policy:             cfg.Policy,
+		TA:                 cfg.TA,
+		Mapper:             cfg.Mapper,
+		MemSpec:            cfg.MemSpec,
+		InitialState:       0, // Active; the policy idles chips down immediately
+		FullScanAccounting: cfg.FullScanAccounting,
 	}
 
 	if cfg.TA != nil && cfg.TA.Mu == 0 && cfg.CPLimit > 0 {

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"dmamem/internal/core"
+	"dmamem/internal/sim"
+)
+
+// TestDirtyAccountingBitIdentical is the cross-check for the
+// controller's dirty-set accounting: on every Table 2 workload and
+// every scheme, a run with the dirty set must produce a report
+// bit-identical — energy breakdown floats included — to a run with
+// the reference full scan (Config.FullScanAccounting). The comparison
+// uses reflect.DeepEqual over the whole metrics.Report, so any float
+// that drifts by one ulp fails the test.
+func TestDirtyAccountingBitIdentical(t *testing.T) {
+	s := NewSuite(4*sim.Millisecond, 1)
+	s.DbDuration = 2 * sim.Millisecond
+	schemes := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"baseline", core.Config{}},
+		{"dma-ta", taConfig(0.10, nil)},
+		{"dma-ta-pl", taConfig(0.10, plConfig(2))},
+	}
+	for _, name := range workloadNames {
+		tr, err := s.workload(name)
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		window := tr.Duration() + 2*sim.Millisecond
+		var baseDirty, baseFull *core.Result
+		for _, sc := range schemes {
+			dirtyCfg := sc.cfg
+			dirtyCfg.MeterWindow = window
+			fullCfg := dirtyCfg
+			fullCfg.FullScanAccounting = true
+
+			dirty, err := core.Run(dirtyCfg, tr)
+			if err != nil {
+				t.Fatalf("%s/%s dirty run: %v", name, sc.label, err)
+			}
+			full, err := core.Run(fullCfg, tr)
+			if err != nil {
+				t.Fatalf("%s/%s full-scan run: %v", name, sc.label, err)
+			}
+			if !reflect.DeepEqual(dirty.Report, full.Report) {
+				t.Errorf("%s/%s: dirty report differs from full scan\ndirty: %+v\nfull:  %+v",
+					name, sc.label, dirty.Report, full.Report)
+			}
+			if d, f := dirty.Report.UtilizationFactor, full.Report.UtilizationFactor; d != f {
+				t.Errorf("%s/%s: uf %v != %v", name, sc.label, d, f)
+			}
+			if sc.label == "baseline" {
+				baseDirty, baseFull = dirty, full
+				continue
+			}
+			// Savings is the headline derived metric; compare it
+			// explicitly even though DeepEqual already covers the inputs.
+			if d, f := dirty.Report.Savings(baseDirty.Report), full.Report.Savings(baseFull.Report); d != f {
+				t.Errorf("%s/%s: savings %v != %v", name, sc.label, d, f)
+			}
+		}
+	}
+}

@@ -22,7 +22,17 @@ type Job struct {
 	// calling goroutine; ctx is canceled when a sibling job fails or
 	// the caller gives up.
 	Run func(ctx context.Context) error
+	// Events may be set by Run to the number of simulation events the
+	// job dispatched; the runner folds it into the timing report for
+	// events/sec throughput.
+	Events uint64
 }
+
+// simEventser is implemented by job results that know how many
+// simulation events they dispatched (e.g. *core.Result); mapJobs uses
+// it to fill Job.Events without the result types importing this
+// package.
+type simEventser interface{ SimEvents() uint64 }
 
 // Runner fans independent simulation jobs across a pool of worker
 // goroutines. Results stay deterministic because parallelism only
@@ -63,7 +73,7 @@ func (r *Runner) runOne(ctx context.Context, j *Job) error {
 	start := time.Now()
 	err := j.Run(ctx)
 	if r != nil && r.Timings != nil {
-		r.Timings.Add(j.Label, time.Since(start))
+		r.Timings.AddSim(j.Label, time.Since(start), j.Events)
 	}
 	if err != nil {
 		return fmt.Errorf("%s: %w", j.Label, err)
@@ -148,10 +158,14 @@ func mapJobs[R any](ctx context.Context, r *Runner, n int, label func(i int) str
 	jobs := make([]Job, n)
 	for i := 0; i < n; i++ {
 		i := i
-		jobs[i] = Job{Label: label(i), Run: func(ctx context.Context) error {
+		job := &jobs[i]
+		*job = Job{Label: label(i), Run: func(ctx context.Context) error {
 			v, err := fn(ctx, i)
 			if err != nil {
 				return err
+			}
+			if se, ok := any(v).(simEventser); ok {
+				job.Events = se.SimEvents()
 			}
 			out[i] = v
 			return nil

@@ -63,6 +63,20 @@ type Chip struct {
 	// Residency is the time spent resident in each state (micro-naps
 	// count toward Nap; transition time is excluded).
 	Residency [4]sim.Duration
+
+	// Pending active-span components, accumulated as exact integer
+	// durations and converted to joules in one Meter add per category
+	// at Close. Integer accumulation makes the energy output
+	// independent of how an idle stretch is split into accounting
+	// spans (float p*d1 + p*d2 need not equal p*(d1+d2) bit-for-bit),
+	// which is what lets the controller's dirty-set accounting charge
+	// clean chips lazily yet stay bit-identical to a per-event full
+	// scan.
+	pendServing   sim.Duration
+	pendProc      sim.Duration
+	pendIdleDMA   sim.Duration
+	pendThreshold sim.Duration
+	pendMicroNap  sim.Duration
 }
 
 // NewChip returns a chip resident in the given state at time now,
@@ -254,13 +268,11 @@ func (c *Chip) AccountActiveSpan(to sim.Time, serving, proc, idleDMA, microNap s
 		panic(fmt.Sprintf("memsys: chip %d span %v overfull: serving %v proc %v idleDMA %v nap %v",
 			c.ID, span, serving, proc, idleDMA, microNap))
 	}
-	active := c.spec.Power(energy.Active)
-	c.Meter.Accumulate(energy.CatServing, active, serving)
-	c.Meter.Accumulate(energy.CatProcServing, active, proc)
-	c.Meter.Accumulate(energy.CatIdleDMA, active, idleDMA)
-	c.Meter.Accumulate(energy.CatIdleThreshold, active, threshold)
-	c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(energy.Nap), microNap)
-	c.Meter.Accumulate(energy.CatTransition, MicroNapOverheadPower, microNap)
+	c.pendServing += serving
+	c.pendProc += proc
+	c.pendIdleDMA += idleDMA
+	c.pendThreshold += threshold
+	c.pendMicroNap += microNap
 	c.ActiveTime += span - microNap
 	c.TransferTime += serving + idleDMA
 	c.ServingTime += serving
@@ -269,11 +281,27 @@ func (c *Chip) AccountActiveSpan(to sim.Time, serving, proc, idleDMA, microNap s
 	c.cursor = to
 }
 
+// flushActive converts the accumulated active-span durations to joules
+// — one Meter add per category, in a fixed order — and zeroes them.
+func (c *Chip) flushActive() {
+	active := c.spec.Power(energy.Active)
+	c.Meter.Accumulate(energy.CatServing, active, c.pendServing)
+	c.Meter.Accumulate(energy.CatProcServing, active, c.pendProc)
+	c.Meter.Accumulate(energy.CatIdleDMA, active, c.pendIdleDMA)
+	c.Meter.Accumulate(energy.CatIdleThreshold, active, c.pendThreshold)
+	c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(energy.Nap), c.pendMicroNap)
+	c.Meter.Accumulate(energy.CatTransition, MicroNapOverheadPower, c.pendMicroNap)
+	c.pendServing, c.pendProc, c.pendIdleDMA, c.pendThreshold, c.pendMicroNap = 0, 0, 0, 0, 0
+}
+
 // Close flushes the open span at the end of a simulation. A chip left
 // resident in a low-power state is charged its residence; a chip left
 // Active is charged threshold-idle for the tail (the controller flushes
-// transfer intervals itself before closing).
+// transfer intervals itself before closing). Close also flushes the
+// pending active-span energy, so the Meter is complete only after
+// Close — read breakdowns after Close, never before.
 func (c *Chip) Close(now sim.Time) {
+	defer c.flushActive()
 	if c.phase != PhaseResident {
 		// Transition energy was charged eagerly and the cursor already
 		// sits at the completion instant; nothing left to do even if

@@ -44,6 +44,17 @@ type Report struct {
 
 	// SimulatedTime covered by the run.
 	SimulatedTime sim.Duration
+
+	// Events dispatched by the simulation engine during the run, for
+	// events/sec throughput reporting.
+	Events uint64
+
+	// ClampedProcSpans counts accounting spans whose pending processor
+	// work exceeded the span and spilled into the next one. A handful
+	// per run is normal bursty-arrival behavior; a large count means
+	// processor accesses arrive faster than the chip can serve them
+	// and service-time numbers should be read with care.
+	ClampedProcSpans int64
 }
 
 // TotalEnergy returns total joules.

@@ -17,6 +17,9 @@ type JobTiming struct {
 	Label string
 	// Wall is the job's wall-clock execution time.
 	Wall time.Duration
+	// Events is the number of simulation events the job dispatched
+	// (zero when the job did not report one).
+	Events uint64
 }
 
 // Timings accumulates per-job wall-clock measurements from
@@ -25,15 +28,55 @@ type JobTiming struct {
 // only — they never feed back into simulation results, which stay
 // bit-identical at any parallelism.
 type Timings struct {
-	mu   sync.Mutex
-	jobs []JobTiming
+	mu     sync.Mutex
+	jobs   []JobTiming
+	allocs uint64 // process-wide allocation count over the run, see SetAllocs
 }
 
 // Add records one finished job. It is safe for concurrent use.
 func (t *Timings) Add(label string, wall time.Duration) {
+	t.AddSim(label, wall, 0)
+}
+
+// AddSim records one finished job together with the number of
+// simulation events it dispatched. It is safe for concurrent use.
+func (t *Timings) AddSim(label string, wall time.Duration, events uint64) {
 	t.mu.Lock()
-	t.jobs = append(t.jobs, JobTiming{Label: label, Wall: wall})
+	t.jobs = append(t.jobs, JobTiming{Label: label, Wall: wall, Events: events})
 	t.mu.Unlock()
+}
+
+// SetAllocs records the process-wide heap allocation count observed
+// over the run (a runtime.MemStats.Mallocs delta). Zero (the initial
+// state) means "not measured" and suppresses allocs/event reporting.
+func (t *Timings) SetAllocs(n uint64) {
+	t.mu.Lock()
+	t.allocs = n
+	t.mu.Unlock()
+}
+
+// TotalEvents returns the sum of events over all recorded jobs.
+func (t *Timings) TotalEvents() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum uint64
+	for _, j := range t.jobs {
+		sum += j.Events
+	}
+	return sum
+}
+
+// AllocsPerEvent returns the recorded allocation count divided by the
+// total event count, or 0 when either was not measured.
+func (t *Timings) AllocsPerEvent() float64 {
+	ev := t.TotalEvents()
+	t.mu.Lock()
+	allocs := t.allocs
+	t.mu.Unlock()
+	if ev == 0 || allocs == 0 {
+		return 0
+	}
+	return float64(allocs) / float64(ev)
 }
 
 // Count returns the number of recorded jobs.
@@ -84,14 +127,25 @@ func (t *Timings) Speedup(elapsed time.Duration) float64 {
 }
 
 // Summary renders a one-paragraph timing report for the given elapsed
-// wall time: job count, total work, elapsed, speedup, and the slowest
-// jobs.
+// wall time: job count, total work, elapsed, speedup, simulation
+// throughput (events/sec, when jobs reported event counts; allocs per
+// event when SetAllocs was called), and the slowest jobs.
 func (t *Timings) Summary(elapsed time.Duration) string {
 	jobs := t.Jobs()
 	var b strings.Builder
 	fmt.Fprintf(&b, "timing: %d jobs, %v total work in %v wall (speedup %.2fx)\n",
 		len(jobs), t.TotalWork().Round(time.Millisecond),
 		elapsed.Round(time.Millisecond), t.Speedup(elapsed))
+	if ev := t.TotalEvents(); ev > 0 {
+		fmt.Fprintf(&b, "  %d events", ev)
+		if work := t.TotalWork(); work > 0 {
+			fmt.Fprintf(&b, ", %.0f events/sec per worker", float64(ev)/work.Seconds())
+		}
+		if ape := t.AllocsPerEvent(); ape > 0 {
+			fmt.Fprintf(&b, ", %.2f allocs/event", ape)
+		}
+		b.WriteString("\n")
+	}
 	slowest := append([]JobTiming(nil), jobs...)
 	sort.Slice(slowest, func(i, j int) bool { return slowest[i].Wall > slowest[j].Wall })
 	if len(slowest) > 5 {

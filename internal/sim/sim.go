@@ -72,20 +72,33 @@ func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)/1e6)
 // engine so it can schedule follow-up events.
 type Handler func(e *Engine)
 
-// event is a pending callback in the engine's priority queue.
+// event is a pending callback in the engine's priority queue. Event
+// objects are pooled per engine: firing or cancelling returns the
+// object to a free list, and the next Schedule reuses it, so the
+// steady-state dispatch loop performs no heap allocation.
 type event struct {
 	at    Time
 	prio  int8   // ties broken by priority, then by seq
 	seq   uint64 // strictly increasing scheduling order
 	index int    // heap index; -1 once removed
+	gen   uint64 // bumped on every recycle; stale EventIDs miscompare
 	fn    Handler
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The ID
+// carries the generation of the event object it was issued for, so an
+// ID kept across the event's firing (after which the object may be
+// recycled for an unrelated event) safely reports invalid instead of
+// cancelling the object's new occupant.
+type EventID struct {
+	ev  *event
+	gen uint64
+}
 
 // Valid reports whether the event is still pending.
-func (id EventID) Valid() bool { return id.ev != nil && id.ev.index >= 0 }
+func (id EventID) Valid() bool {
+	return id.ev != nil && id.ev.gen == id.gen && id.ev.index >= 0
+}
 
 // eventQueue implements heap.Interface over pending events.
 type eventQueue []*event
@@ -131,6 +144,7 @@ func (q *eventQueue) Pop() any {
 type Engine struct {
 	now     Time
 	queue   eventQueue
+	free    []*event // recycled event objects, see event
 	seq     uint64
 	stopped bool
 	steps   uint64
@@ -167,9 +181,26 @@ func (e *Engine) SchedulePrio(at Time, prio int8, fn Handler) EventID {
 		panic("sim: schedule nil handler")
 	}
 	e.seq++
-	ev := &event{at: at, prio: prio, seq: e.seq, fn: fn}
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = &event{}
+	}
+	ev.at, ev.prio, ev.seq, ev.fn = at, prio, e.seq, fn
 	heap.Push(&e.queue, ev)
-	return EventID{ev}
+	return EventID{ev, ev.gen}
+}
+
+// recycle returns a no-longer-pending event object to the free list.
+// Bumping the generation invalidates every EventID issued for the
+// object's previous occupancy.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	ev.gen++
+	e.free = append(e.free, ev)
 }
 
 // Cancel removes a pending event. Cancelling an already-fired or
@@ -179,7 +210,7 @@ func (e *Engine) Cancel(id EventID) bool {
 		return false
 	}
 	heap.Remove(&e.queue, id.ev.index)
-	id.ev.index = -1
+	e.recycle(id.ev)
 	return true
 }
 
@@ -206,7 +237,9 @@ func (e *Engine) RunUntil(limit Time) {
 		heap.Pop(&e.queue)
 		e.now = ev.at
 		e.steps++
-		ev.fn(e)
+		fn := ev.fn
+		e.recycle(ev)
+		fn(e)
 	}
 	if e.now < limit && len(e.queue) == 0 {
 		// Queue drained naturally: clock stays at last event.
@@ -225,6 +258,8 @@ func (e *Engine) Step() bool {
 	ev := heap.Pop(&e.queue).(*event)
 	e.now = ev.at
 	e.steps++
-	ev.fn(e)
+	fn := ev.fn
+	e.recycle(ev)
+	fn(e)
 	return true
 }

@@ -329,6 +329,125 @@ func BenchmarkScheduleRun(b *testing.B) {
 	}
 }
 
+// TestCancelThenFireSameInstant cancels one of two events scheduled at
+// the same instant from inside the first: the cancelled event must not
+// fire even though it was already due.
+func TestCancelThenFireSameInstant(t *testing.T) {
+	e := New()
+	fired := false
+	var victim EventID
+	e.SchedulePrio(10, 0, func(e *Engine) {
+		if !e.Cancel(victim) {
+			t.Error("cancel of same-instant pending event failed")
+		}
+	})
+	victim = e.SchedulePrio(10, 1, func(*Engine) { fired = true })
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled at its own instant still fired")
+	}
+	if e.Now() != 10 {
+		t.Fatalf("clock = %v, want 10", e.Now())
+	}
+}
+
+// TestStaleIDAfterRecycle checks the generation guard on pooled event
+// objects: after an event fires, its object is recycled for the next
+// Schedule, and the stale ID must read invalid — and Cancel through it
+// must be a no-op that leaves the recycled object's new event intact.
+func TestStaleIDAfterRecycle(t *testing.T) {
+	e := New()
+	stale := e.Schedule(1, func(*Engine) {})
+	e.Run()
+	if stale.Valid() {
+		t.Fatal("id valid after its event fired")
+	}
+
+	// The next schedule reuses the pooled object.
+	fired := false
+	fresh := e.Schedule(2, func(*Engine) { fired = true })
+	if fresh.ev != stale.ev {
+		t.Fatalf("expected pooled reuse: fresh.ev=%p stale.ev=%p", fresh.ev, stale.ev)
+	}
+	if stale.Valid() {
+		t.Fatal("stale id became valid again when its object was reused")
+	}
+	if e.Cancel(stale) {
+		t.Fatal("cancel through a stale id succeeded")
+	}
+	if !fresh.Valid() {
+		t.Fatal("stale cancel corrupted the recycled object's new event")
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("recycled object's new event did not fire")
+	}
+}
+
+// TestRunUntilClockAfterStop: when Stop fires mid-run, the clock must
+// stay at the stopping event's instant (not jump to the limit), and a
+// later RunUntil must resume from there.
+func TestRunUntilClockAfterStop(t *testing.T) {
+	e := New()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30} {
+		at := at
+		e.Schedule(at, func(e *Engine) {
+			fired = append(fired, at)
+			if at == 20 {
+				e.Stop()
+			}
+		})
+	}
+	e.RunUntil(100)
+	if e.Now() != 20 {
+		t.Fatalf("clock after Stop = %v, want 20", e.Now())
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20", fired)
+	}
+	e.RunUntil(100)
+	// Queue drained naturally, so the clock stays at the last event.
+	if len(fired) != 3 || e.Now() != 30 {
+		t.Fatalf("resume: fired %v, clock %v; want 3 events and clock 30", fired, e.Now())
+	}
+}
+
+// TestZeroAllocSteadyState is the allocation guard for the pooled hot
+// path: once the free list and heap slice are warm, a steady-state
+// schedule/cancel/fire cycle must not allocate at all.
+func TestZeroAllocSteadyState(t *testing.T) {
+	e := New()
+	// Handlers are created once; creating a closure inside the measured
+	// loop would itself allocate.
+	noop := Handler(func(*Engine) {})
+	var tick Handler
+	tick = func(e *Engine) {
+		if e.Pending() == 0 {
+			e.After(10, tick)
+			e.After(10, noop)
+		}
+	}
+	// Warm the pool and the heap backing array.
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i+1), noop)
+	}
+	victim := e.After(1000, noop)
+	e.Cancel(victim)
+	e.Run()
+
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := e.After(5, noop)
+		e.Cancel(id)
+		e.After(10, tick)
+		e.After(10, noop)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state dispatch allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
 // TestEngineGoroutineIsolation exercises the package's ownership
 // contract: one Engine per goroutine, engines sharing no state. Many
 // goroutines each run an identical event cascade on a private engine;

@@ -96,6 +96,9 @@ type Report struct {
 	Residency StateResidency
 	// Mu is the slack parameter DMA-TA derived from the CP-Limit.
 	Mu float64
+	// Events is the number of discrete-event steps the run dispatched,
+	// for events/sec throughput measurements.
+	Events uint64
 }
 
 // StateResidency is chip-time per power state, summed over chips.
@@ -131,7 +134,8 @@ func newReport(res *core.Result) *Report {
 			Nap:       toStd(float64(r.Residency[2])),
 			Powerdown: toStd(float64(r.Residency[3])),
 		},
-		Mu: res.Mu,
+		Mu:     res.Mu,
+		Events: r.Events,
 	}
 }
 
