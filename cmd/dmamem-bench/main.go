@@ -4,6 +4,7 @@
 // Usage:
 //
 //	dmamem-bench [-duration 100ms] [-seed 1] [-parallel N] [-timing]
+//	             [-scheduler wheel|heap] [-feeder batched|per-event]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	             [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2|dss|tech|seeds]
 //
@@ -13,8 +14,13 @@
 // GOMAXPROCS); the printed output is byte-identical at any
 // parallelism. -timing prints a per-run wall-clock summary to stderr,
 // including events/sec and allocations per event when available.
-// -cpuprofile and -memprofile write pprof profiles of the whole run
-// for `go tool pprof`.
+// -scheduler and -feeder select the engine's pending-event store
+// (hierarchical timer wheel vs reference binary heap) and trace
+// delivery path (batched cursor feeder vs one event per record
+// timestamp); every combination prints byte-identical results, only
+// the wall-clock changes, which makes the flags a self-service
+// cross-check and a profiling aid. -cpuprofile and -memprofile write
+// pprof profiles of the whole run for `go tool pprof`.
 package main
 
 import (
@@ -44,6 +50,8 @@ func realMain() int {
 	fig := flag.String("fig", "all", "which figure/table to regenerate")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulation runs (1 = sequential)")
 	timing := flag.Bool("timing", false, "print a per-run wall-clock timing summary to stderr")
+	scheduler := flag.String("scheduler", "wheel", "engine event store: wheel (timer wheel) or heap (reference binary heap)")
+	feeder := flag.String("feeder", "batched", "trace delivery: batched (cursor feeder) or per-event")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
 	flag.Parse()
@@ -90,6 +98,22 @@ func realMain() int {
 	s := experiments.NewSuite(fromStd(*duration), *seed)
 	s.DbDuration = fromStd(*dbDuration)
 	s.Runner = runner
+	switch *scheduler {
+	case "wheel":
+	case "heap":
+		s.HeapScheduler = true
+	default:
+		fmt.Fprintf(os.Stderr, "dmamem-bench: unknown -scheduler %q (want wheel or heap)\n", *scheduler)
+		return 2
+	}
+	switch *feeder {
+	case "batched":
+	case "per-event":
+		s.PerEventFeeder = true
+	default:
+		fmt.Fprintf(os.Stderr, "dmamem-bench: unknown -feeder %q (want batched or per-event)\n", *feeder)
+		return 2
+	}
 	start := time.Now()
 
 	failed := false

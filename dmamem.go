@@ -80,36 +80,97 @@ func (t Technique) String() string {
 // Simulation configures one run. The zero value is the paper's
 // baseline system: 32 x 32 MB RDRAM chips at 3.2 GB/s, three PCI-X
 // buses, dynamic threshold power management, interleaved page layout.
+//
+// On every field the zero value selects the documented default; any
+// other out-of-range value is a loud error from Validate (which Run
+// and Compare call first), never a silent fallback.
 type Simulation struct {
-	// Technique to apply.
+	// Technique to apply. The zero value is Baseline.
 	Technique Technique
 	// CPLimit is the permitted client-perceived mean response-time
 	// degradation (e.g. 0.10); it parameterizes DMA-TA's slack.
-	// Ignored by Baseline and NoPowerManagement.
+	// Required positive for TemporalAlignment and
+	// TemporalAlignmentWithLayout; ignored by Baseline and
+	// NoPowerManagement. Negative values are rejected.
 	CPLimit float64
 	// PLGroups is the number of popularity groups including the cold
-	// group (the paper's best setting, and the default, is 2).
+	// group. Zero selects the paper's best setting, 2; set values must
+	// be at least 2 (a hot and a cold group).
 	PLGroups int
 	// PLHotShare is the fraction of DMA requests the hot chips are
-	// sized to absorb (default 0.6).
+	// sized to absorb. Zero selects the default 0.6; set values must
+	// lie strictly inside (0, 1) — at 1 every chip is hot and the
+	// layout degenerates to the interleaved baseline.
 	PLHotShare float64
-	// PLInterval is the layout rebalance period (default 20ms).
+	// PLInterval is the layout rebalance period. Zero selects the
+	// default 20ms; negative values are rejected.
 	PLInterval time.Duration
-	// Buses is the number of I/O buses (default 3).
+	// Buses is the number of I/O buses. Zero selects the default 3;
+	// negative values are rejected.
 	Buses int
-	// BusBandwidth in bytes/s (default PCI-X, 1.064 GB/s).
+	// BusBandwidth in bytes/s. Zero selects the PCI-X default,
+	// 1.064 GB/s; negative values are rejected.
 	BusBandwidth float64
 	// StaticMode, when non-empty ("standby", "nap", "powerdown"),
-	// replaces the dynamic threshold policy with a static one.
+	// replaces the dynamic threshold policy with a static one. Empty
+	// keeps the dynamic threshold policy; any other string is
+	// rejected.
 	StaticMode string
 	// MemoryTech selects the memory technology: "" or "rdram" for the
 	// paper's 3.2 GB/s RDRAM part, "ddr" for a 2.1 GB/s DDR400-class
-	// part (Section 5.4's "other memory technologies").
+	// part (Section 5.4's "other memory technologies"). Any other
+	// string is rejected.
 	MemoryTech string
+}
+
+// Validate checks every field against its legal range and returns a
+// descriptive error for the first violation. The zero value of each
+// field (meaning "use the default") is always valid; Run and Compare
+// validate implicitly, so calling Validate first is only needed to
+// fail fast before building traces.
+func (s Simulation) Validate() error {
+	if s.Technique < Baseline || s.Technique > NoPowerManagement {
+		return fmt.Errorf("dmamem: unknown technique %d", int(s.Technique))
+	}
+	if s.CPLimit < 0 {
+		return fmt.Errorf("dmamem: negative CPLimit %v", s.CPLimit)
+	}
+	if (s.Technique == TemporalAlignment || s.Technique == TemporalAlignmentWithLayout) && s.CPLimit == 0 {
+		return fmt.Errorf("dmamem: %v needs a positive CPLimit", s.Technique)
+	}
+	if s.PLGroups != 0 && s.PLGroups < 2 {
+		return fmt.Errorf("dmamem: PLGroups %d out of range: a layout needs a hot and a cold group (>= 2); 0 selects the default 2", s.PLGroups)
+	}
+	if s.PLHotShare != 0 && (s.PLHotShare < 0 || s.PLHotShare >= 1) {
+		return fmt.Errorf("dmamem: PLHotShare %v outside (0,1); 0 selects the default 0.6", s.PLHotShare)
+	}
+	if s.PLInterval < 0 {
+		return fmt.Errorf("dmamem: negative PLInterval %v; 0 selects the default 20ms", s.PLInterval)
+	}
+	if s.Buses < 0 {
+		return fmt.Errorf("dmamem: negative bus count %d; 0 selects the default 3", s.Buses)
+	}
+	if s.BusBandwidth < 0 {
+		return fmt.Errorf("dmamem: negative BusBandwidth %v; 0 selects the PCI-X default", s.BusBandwidth)
+	}
+	switch s.StaticMode {
+	case "", "standby", "nap", "powerdown":
+	default:
+		return fmt.Errorf("dmamem: unknown static mode %q (want standby, nap or powerdown)", s.StaticMode)
+	}
+	switch s.MemoryTech {
+	case "", "rdram", "ddr":
+	default:
+		return fmt.Errorf("dmamem: unknown memory technology %q (want rdram or ddr)", s.MemoryTech)
+	}
+	return nil
 }
 
 func (s Simulation) coreConfig() (core.Config, error) {
 	cfg := core.Config{}
+	if err := s.Validate(); err != nil {
+		return cfg, err
+	}
 	if s.Buses != 0 || s.BusBandwidth != 0 {
 		bc := bus.DefaultConfig()
 		if s.Buses != 0 {
@@ -124,29 +185,20 @@ func (s Simulation) coreConfig() (core.Config, error) {
 	case "", "rdram":
 	case "ddr":
 		cfg.MemSpec = energy.DDR400()
-	default:
-		return cfg, fmt.Errorf("dmamem: unknown memory technology %q", s.MemoryTech)
 	}
 	switch s.StaticMode {
-	case "":
 	case "standby":
 		cfg.Policy = &policy.Static{Mode: 1}
 	case "nap":
 		cfg.Policy = &policy.Static{Mode: 2}
 	case "powerdown":
 		cfg.Policy = &policy.Static{Mode: 3}
-	default:
-		return cfg, fmt.Errorf("dmamem: unknown static mode %q", s.StaticMode)
 	}
 	switch s.Technique {
-	case Baseline:
 	case NoPowerManagement:
 		cfg.Policy = policy.AlwaysActive{}
 		cfg.Scheme = "no-pm"
 	case TemporalAlignment, TemporalAlignmentWithLayout:
-		if s.CPLimit <= 0 {
-			return cfg, fmt.Errorf("dmamem: %v needs a positive CPLimit", s.Technique)
-		}
 		cfg.TA = controller.DefaultTA(0)
 		cfg.CPLimit = s.CPLimit
 		if s.Technique == TemporalAlignmentWithLayout {
@@ -162,8 +214,6 @@ func (s Simulation) coreConfig() (core.Config, error) {
 			}
 			cfg.PL = &pl
 		}
-	default:
-		return cfg, fmt.Errorf("dmamem: unknown technique %d", s.Technique)
 	}
 	return cfg, nil
 }
@@ -205,8 +255,9 @@ func Compare(s Simulation, tr *Trace) (*Comparison, error) {
 // simulations run on two goroutines (each simulation is confined to a
 // single goroutine — see the internal/sim ownership contract), and the
 // resulting reports are bit-identical to Compare's. Cancellation is
-// coarse: it is observed between simulation runs, so a discrete-event
-// run already in flight completes before ctx.Err() is returned.
+// observed mid-run: the engines poll ctx every few thousand
+// dispatches, so even a simulation in flight aborts within
+// microseconds of wall time with ctx.Err().
 func CompareContext(ctx context.Context, s Simulation, tr *Trace, parallel int) (*Comparison, error) {
 	tech, err := s.coreConfig()
 	if err != nil {

@@ -11,6 +11,14 @@ import (
 
 // Same-instant event priorities: completions observe the interval
 // first, then new arrivals, then policy timers and epochs.
+//
+// prioArrival is reserved for trace arrivals exclusively — it is also
+// the priority the batched trace feeder (core.traceFeeder, a
+// sim.Feeder) reports from Peek, and the run loop's merge gives
+// same-(instant, priority) ties to the queue, so no queued controller
+// event may use it or the dispatch order against a feeder would be
+// undefined. (The experiments cross-check holds both feeders to
+// bit-identical reports.)
 const (
 	prioCompletion int8 = 0
 	prioArrival    int8 = 1

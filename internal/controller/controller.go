@@ -116,6 +116,13 @@ func (c *Config) Validate() error {
 	if c.Policy == nil {
 		return fmt.Errorf("controller: nil policy")
 	}
+	// Policies that can check themselves (Dynamic's threshold chain,
+	// Static's park mode) are validated with the rest of the config.
+	if v, ok := c.Policy.(interface{ Validate() error }); ok {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+	}
 	if c.TA != nil {
 		if err := c.TA.Validate(); err != nil {
 			return err

@@ -67,6 +67,19 @@ type Config struct {
 	// Results are bit-identical either way; the knob exists for the
 	// cross-check test and debugging.
 	FullScanAccounting bool
+	// HeapScheduler backs the engine with the reference binary-heap
+	// event store (O(log n) operations) instead of the default
+	// hierarchical timer wheel (amortized O(1)). Results are
+	// bit-identical either way; the knob exists for the cross-check
+	// test and debugging, mirroring FullScanAccounting.
+	HeapScheduler bool
+	// PerEventFeeder delivers trace records through a self-advancing
+	// engine event per distinct record timestamp instead of the
+	// default batched cursor feeder that bypasses the scheduler.
+	// Results are bit-identical either way (one engine step per
+	// distinct timestamp in both modes); the knob exists for the
+	// cross-check test and debugging.
+	PerEventFeeder bool
 }
 
 // withDefaults returns a fully populated copy.
@@ -155,6 +168,14 @@ func Calibrate(tr *trace.Trace, geo memsys.Geometry, buses bus.Config) metrics.C
 
 // Run simulates one configuration over a trace.
 func Run(cfg Config, tr *trace.Trace) (*Result, error) {
+	return RunContext(context.Background(), cfg, tr)
+}
+
+// RunContext is Run with cancellation: the engine polls ctx every few
+// thousand dispatches, so a cancelled context aborts a simulation
+// mid-run within microseconds of wall time. A run that is never
+// cancelled is bit-identical to Run.
+func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -215,17 +236,26 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 	}
 
 	eng := sim.New()
+	if cfg.HeapScheduler {
+		eng = sim.NewWithHeap()
+	}
 	ctl, err := controller.New(eng, ccfg)
 	if err != nil {
 		return nil, err
 	}
 
-	feed(eng, ctl, tr)
+	if cfg.PerEventFeeder {
+		feed(eng, ctl, tr)
+	} else {
+		eng.SetFeeder(&traceFeeder{ctl: ctl, records: tr.Records})
+	}
 	traceEnd := sim.Time(tr.Duration())
 	if lm != nil {
 		scheduleRebalances(eng, ctl, lm, traceEnd)
 	}
-	eng.Run()
+	if err := eng.RunContext(ctx); err != nil {
+		return nil, err
+	}
 
 	window := cfg.MeterWindow
 	if window == 0 {
@@ -259,9 +289,50 @@ func warmup(lm *layout.Manager, tr *trace.Trace, fraction float64) {
 	lm.ResetCosts()
 }
 
-// feed schedules trace records into the engine one at a time (a
-// self-advancing feeder keeps the event heap small for multi-million
-// record traces).
+// traceFeeder is the default arrival source: a cursor over the trace
+// records that the engine's run loop pulls batches from directly (see
+// sim.Feeder), so arrivals never pass through the scheduler at all.
+// It reports feederPrio as its same-instant priority, which is
+// reserved for trace arrivals across the whole simulator — transfer
+// completions (priority 0) at the same instant are observed first,
+// policy and epoch timers (priorities 2+) after, exactly as with the
+// per-event feeder.
+type traceFeeder struct {
+	ctl     *controller.Controller
+	records []trace.Record
+	idx     int
+	nextID  int64
+}
+
+// feederPrio is the same-instant dispatch priority of trace arrivals,
+// for both feeder implementations. No other event source uses it.
+const feederPrio = 1
+
+func (f *traceFeeder) Peek() (sim.Time, int8, bool) {
+	if f.idx >= len(f.records) {
+		return 0, 0, false
+	}
+	return f.records[f.idx].Time, feederPrio, true
+}
+
+func (f *traceFeeder) Fire(e *sim.Engine) {
+	now := e.Now()
+	for f.idx < len(f.records) && f.records[f.idx].Time == now {
+		r := f.records[f.idx]
+		f.idx++
+		if r.Kind.IsDMA() {
+			f.ctl.StartTransfer(dma.FromRecord(f.nextID, r))
+			f.nextID++
+		} else {
+			f.ctl.ProcAccess(r.Page)
+		}
+	}
+}
+
+// feed is the reference arrival path (Config.PerEventFeeder): trace
+// records enter through a self-advancing engine event per distinct
+// record timestamp. The batched traceFeeder replaces it on the hot
+// path; it is kept as the cross-check implementation.
 func feed(eng *sim.Engine, ctl *controller.Controller, tr *trace.Trace) {
 	var idx int
 	var nextID int64
@@ -278,10 +349,10 @@ func feed(eng *sim.Engine, ctl *controller.Controller, tr *trace.Trace) {
 			}
 		}
 		if idx < len(tr.Records) {
-			eng.SchedulePrio(tr.Records[idx].Time, 1, step)
+			eng.SchedulePrio(tr.Records[idx].Time, feederPrio, step)
 		}
 	}
-	eng.SchedulePrio(tr.Records[0].Time, 1, step)
+	eng.SchedulePrio(tr.Records[0].Time, feederPrio, step)
 }
 
 // scheduleRebalances arms the PL interval timer up to the end of the
@@ -323,8 +394,9 @@ func RunBaselinePair(base, tech Config, tr *trace.Trace) (b, t *Result, savings 
 // when parallel > 1, the two runs on separate goroutines (each
 // simulation owns its own single-goroutine engine; see internal/sim).
 // Results are bit-identical to RunBaselinePair's. Cancellation is
-// observed between runs: a discrete-event run already in flight
-// completes before ctx.Err() is returned.
+// observed mid-run: the engines poll ctx every few thousand
+// dispatches, so a cancelled sweep aborts within microseconds of wall
+// time instead of finishing the simulation in flight.
 func RunBaselinePairParallel(ctx context.Context, base, tech Config, tr *trace.Trace, parallel int) (b, t *Result, savings float64, err error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -332,20 +404,25 @@ func RunBaselinePairParallel(ctx context.Context, base, tech Config, tr *trace.T
 	if err = ctx.Err(); err != nil {
 		return nil, nil, 0, err
 	}
-	if parallel <= 1 {
-		b, t, savings, err = RunBaselinePair(base, tech, tr)
-		return
-	}
 	window := tr.Duration() + 2*sim.Millisecond
 	base.MeterWindow = window
 	tech.MeterWindow = window
+	if parallel <= 1 {
+		if b, err = RunContext(ctx, base, tr); err != nil {
+			return nil, nil, 0, err
+		}
+		if t, err = RunContext(ctx, tech, tr); err != nil {
+			return nil, nil, 0, err
+		}
+		return b, t, t.Report.Savings(b.Report), nil
+	}
 	var baseErr, techErr error
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		t, techErr = Run(tech, tr)
+		t, techErr = RunContext(ctx, tech, tr)
 	}()
-	b, baseErr = Run(base, tr)
+	b, baseErr = RunContext(ctx, base, tr)
 	<-done
 	if baseErr != nil {
 		return nil, nil, 0, baseErr

@@ -44,6 +44,12 @@ type Suite struct {
 	// Runner runs everything sequentially on the calling goroutine;
 	// results are byte-identical either way.
 	Runner *Runner
+	// HeapScheduler and PerEventFeeder propagate the engine knobs of
+	// the same names (core.Config) to every simulation the suite runs.
+	// Results are bit-identical regardless — the cross-check test holds
+	// all four combinations to that.
+	HeapScheduler  bool
+	PerEventFeeder bool
 
 	mu    sync.Mutex
 	cache map[string]*cacheEntry
@@ -139,6 +145,24 @@ func (s *Suite) generate(name string) (*trace.Trace, error) {
 		return nil, fmt.Errorf("experiments: workload %s: %w", name, err)
 	}
 	return tr, nil
+}
+
+// run executes one simulation with the suite's engine knobs applied
+// and the job's context observed mid-run (a cancelled figure aborts
+// its in-flight simulations instead of finishing them).
+func (s *Suite) run(ctx context.Context, cfg core.Config, tr *trace.Trace) (*core.Result, error) {
+	cfg.HeapScheduler = s.HeapScheduler
+	cfg.PerEventFeeder = s.PerEventFeeder
+	return core.RunContext(ctx, cfg, tr)
+}
+
+// runPair is RunBaselinePair with the suite's engine knobs and
+// cancellation.
+func (s *Suite) runPair(ctx context.Context, base, tech core.Config, tr *trace.Trace) (savings float64, err error) {
+	base.HeapScheduler, tech.HeapScheduler = s.HeapScheduler, s.HeapScheduler
+	base.PerEventFeeder, tech.PerEventFeeder = s.PerEventFeeder, s.PerEventFeeder
+	_, _, savings, err = core.RunBaselinePairParallel(ctx, base, tech, tr, 1)
+	return savings, err
 }
 
 // taConfig returns the technique configuration for a CP-Limit.
@@ -299,7 +323,7 @@ func (s *Suite) Fig2b(ctx context.Context) ([]BreakdownRow, error) {
 			if err != nil {
 				return BreakdownRow{}, err
 			}
-			res, err := core.Run(core.Config{}, tr)
+			res, err := s.run(ctx, core.Config{}, tr)
 			if err != nil {
 				return BreakdownRow{}, err
 			}
@@ -371,7 +395,7 @@ func (s *Suite) Fig5(ctx context.Context, cpLimits []float64, groups []int) ([]F
 	bases, err := mapJobs(ctx, s.Runner, len(ws),
 		func(i int) string { return "fig5/baseline/" + ws[i].Name },
 		func(ctx context.Context, i int) (*core.Result, error) {
-			return core.Run(core.Config{MeterWindow: windows[i]}, ws[i])
+			return s.run(ctx, core.Config{MeterWindow: windows[i]}, ws[i])
 		})
 	if err != nil {
 		return nil, err
@@ -395,7 +419,7 @@ func (s *Suite) Fig5(ctx context.Context, cpLimits []float64, groups []int) ([]F
 			sp := specs[i]
 			cfg := sp.cfg
 			cfg.MeterWindow = windows[sp.wi]
-			return core.Run(cfg, ws[sp.wi])
+			return s.run(ctx, cfg, ws[sp.wi])
 		})
 	if err != nil {
 		return nil, err
@@ -456,7 +480,7 @@ func (s *Suite) Fig6(ctx context.Context) ([]BreakdownRow, error) {
 		func(ctx context.Context, i int) (BreakdownRow, error) {
 			cfg := schemes[i].cfg
 			cfg.MeterWindow = window
-			res, err := core.Run(cfg, tr)
+			res, err := s.run(ctx, cfg, tr)
 			if err != nil {
 				return BreakdownRow{}, err
 			}
@@ -497,7 +521,7 @@ func (s *Suite) Fig7(ctx context.Context, cpLimits []float64) ([]Fig7Point, erro
 	return mapJobs(ctx, s.Runner, len(specs),
 		func(i int) string { return fmt.Sprintf("fig7/%s/cp=%.2f", specs[i].label, specs[i].cpLimit) },
 		func(ctx context.Context, i int) (Fig7Point, error) {
-			res, err := core.Run(specs[i].cfg, tr)
+			res, err := s.run(ctx, specs[i].cfg, tr)
 			if err != nil {
 				return Fig7Point{}, err
 			}
@@ -573,7 +597,7 @@ func (s *Suite) Fig8(ctx context.Context, ratesPerMs []float64) ([]SweepPoint, e
 			if err != nil {
 				return SweepPoint{}, err
 			}
-			_, _, savings, err := core.RunBaselinePair(core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
+			savings, err := s.runPair(ctx, core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
 			if err != nil {
 				return SweepPoint{}, err
 			}
@@ -612,7 +636,7 @@ func (s *Suite) Fig9(ctx context.Context, perTransfer []int) ([]SweepPoint, erro
 			if err != nil {
 				return SweepPoint{}, err
 			}
-			_, _, savings, err := core.RunBaselinePair(core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
+			savings, err := s.runPair(ctx, core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
 			if err != nil {
 				return SweepPoint{}, err
 			}
@@ -652,7 +676,7 @@ func (s *Suite) Fig10(ctx context.Context, busBW []float64) ([]SweepPoint, error
 			bc := bus.Config{Count: 3, Bandwidth: sp.bw}
 			tech := sweepSchemeConfig(sweepSchemes[sp.scheme])
 			tech.Buses = bc
-			_, _, savings, err := core.RunBaselinePair(core.Config{Buses: bc}, tech, tr)
+			savings, err := s.runPair(ctx, core.Config{Buses: bc}, tech, tr)
 			if err != nil {
 				return SweepPoint{}, err
 			}

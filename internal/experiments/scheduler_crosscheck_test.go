@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+
+	"dmamem/internal/core"
+	"dmamem/internal/sim"
+)
+
+// TestSchedulerFeederBitIdentical is the acceptance cross-check for
+// the timer-wheel scheduler and the batched trace feeder: on every
+// Table 2 workload and every scheme, all four engine combinations —
+// {wheel, heap} x {batched feeder, per-event feeder} — must produce
+// reports bit-identical to the reference heap + per-event engine,
+// including the dispatch count (Report.Events) and every energy
+// breakdown float. The comparison is reflect.DeepEqual over the whole
+// metrics.Report, so a single-ulp drift or one extra engine step
+// fails.
+func TestSchedulerFeederBitIdentical(t *testing.T) {
+	s := NewSuite(4*sim.Millisecond, 1)
+	s.DbDuration = 2 * sim.Millisecond
+	schemes := []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"baseline", core.Config{}},
+		{"dma-ta", taConfig(0.10, nil)},
+		{"dma-ta-pl", taConfig(0.10, plConfig(2))},
+	}
+	type combo struct {
+		label          string
+		heap, perEvent bool
+	}
+	combos := []combo{
+		{"wheel+batched", false, false},
+		{"wheel+per-event", false, true},
+		{"heap+batched", true, false},
+		{"heap+per-event", true, true}, // the reference
+	}
+	for _, name := range workloadNames {
+		tr, err := s.workload(name)
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		window := tr.Duration() + 2*sim.Millisecond
+		for _, sc := range schemes {
+			results := make([]*core.Result, len(combos))
+			for ci, cb := range combos {
+				cfg := sc.cfg
+				cfg.MeterWindow = window
+				cfg.HeapScheduler = cb.heap
+				cfg.PerEventFeeder = cb.perEvent
+				if results[ci], err = core.Run(cfg, tr); err != nil {
+					t.Fatalf("%s/%s/%s: %v", name, sc.label, cb.label, err)
+				}
+			}
+			ref := results[len(combos)-1]
+			if ref.Report.Events == 0 {
+				t.Fatalf("%s/%s: reference run dispatched no events", name, sc.label)
+			}
+			for ci, cb := range combos[:len(combos)-1] {
+				if got := results[ci]; !reflect.DeepEqual(got.Report, ref.Report) {
+					t.Errorf("%s/%s: %s report differs from heap+per-event\ngot: %+v\nref: %+v",
+						name, sc.label, cb.label, got.Report, ref.Report)
+				}
+			}
+		}
+	}
+}
+
+// TestWheelThroughputSmoke is the CI bench smoke gate: it compares
+// wheel vs heap events/sec on the SimulatorThroughput configuration
+// (Synthetic-St through a full baseline run) and fails if the wheel
+// regresses throughput by more than 10%. Benchmarking inside the
+// normal test run would be noise-prone, so the check only arms when
+// CI sets DMAMEM_BENCH_SMOKE=1.
+func TestWheelThroughputSmoke(t *testing.T) {
+	if os.Getenv("DMAMEM_BENCH_SMOKE") == "" {
+		t.Skip("set DMAMEM_BENCH_SMOKE=1 to run the scheduler throughput gate")
+	}
+	s := NewSuite(25*sim.Millisecond, 1)
+	tr, err := s.workload("Synthetic-St")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventsPerSec := func(heap bool) float64 {
+		var events uint64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{HeapScheduler: heap}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Report.Events
+			}
+		})
+		return float64(events) * float64(r.N) / r.T.Seconds()
+	}
+	wheel := eventsPerSec(false)
+	heap := eventsPerSec(true)
+	ratio := wheel / heap
+	t.Logf("wheel %.0f events/sec, heap %.0f events/sec, ratio %.3f", wheel, heap, ratio)
+	fmt.Printf("bench-smoke: wheel=%.0f heap=%.0f events/sec (ratio %.3f)\n", wheel, heap, ratio)
+	if ratio < 0.90 {
+		t.Fatalf("wheel scheduler regresses SimulatorThroughput: %.0f vs %.0f events/sec (ratio %.3f < 0.90)",
+			wheel, heap, ratio)
+	}
+}

@@ -92,6 +92,17 @@ func (p *Static) NextStep(s energy.State) (sim.Duration, energy.State, bool) {
 // Name implements Policy.
 func (p *Static) Name() string { return "static-" + p.Mode.String() }
 
+// Validate rejects park modes outside the chip's state machine.
+// (Mode == Active is allowed: it degenerates to no power management,
+// like AlwaysActive.)
+func (p *Static) Validate() error {
+	if p.Mode > energy.Powerdown {
+		return fmt.Errorf("policy: static park mode %d beyond %v",
+			int(p.Mode), energy.Powerdown)
+	}
+	return nil
+}
+
 // AlwaysActive never powers down; it gives the no-energy-management
 // performance reference (the T in the paper's performance guarantee).
 type AlwaysActive struct{}

@@ -88,6 +88,17 @@ func TestStaticActiveMode(t *testing.T) {
 	}
 }
 
+func TestStaticValidate(t *testing.T) {
+	for m := energy.Active; m <= energy.Powerdown; m++ {
+		if err := (&Static{Mode: m}).Validate(); err != nil {
+			t.Errorf("mode %v rejected: %v", m, err)
+		}
+	}
+	if (&Static{Mode: energy.Powerdown + 1}).Validate() == nil {
+		t.Error("out-of-range park mode accepted")
+	}
+}
+
 func TestAlwaysActive(t *testing.T) {
 	var p AlwaysActive
 	if _, _, ok := p.NextStep(energy.Active); ok {

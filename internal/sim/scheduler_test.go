@@ -1,0 +1,355 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// engines runs a subtest against both scheduler backends; behavioral
+// tests must pass identically on the wheel and the reference heap.
+func engines(t *testing.T, f func(t *testing.T, newEngine func() *Engine)) {
+	t.Run("wheel", func(t *testing.T) { f(t, New) })
+	t.Run("heap", func(t *testing.T) { f(t, NewWithHeap) })
+}
+
+// TestSchedulerEquivalence is the kernel-level cross-check: a random
+// mix of schedules (spread across every wheel level), same-instant
+// priority ties, cancellations and handler-driven reschedules must
+// dispatch in exactly the same order on the wheel as on the reference
+// heap.
+func TestSchedulerEquivalence(t *testing.T) {
+	// Deltas straddle bucket spans from level 0 (sub-64 ps) to level 6+
+	// (seconds), plus zero-delta same-instant collisions.
+	deltas := []Duration{0, 1, 3, 63, 64, 65, 1000, 4095, 4096, 9999,
+		262144, 1000000, 10 * Microsecond, 3 * Millisecond, Second}
+	run := func(newEngine func() *Engine, seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		e := newEngine()
+		var order []int
+		var ids []EventID
+		label := 0
+		var schedule func(depth int)
+		schedule = func(depth int) {
+			n := 5 + rng.Intn(20)
+			for i := 0; i < n; i++ {
+				l := label
+				label++
+				at := e.Now().Add(deltas[rng.Intn(len(deltas))])
+				prio := int8(rng.Intn(3))
+				id := e.SchedulePrio(at, prio, func(e *Engine) {
+					order = append(order, l)
+					if depth < 3 && rng.Intn(4) == 0 {
+						schedule(depth + 1)
+					}
+				})
+				ids = append(ids, id)
+				if len(ids) > 3 && rng.Intn(5) == 0 {
+					e.Cancel(ids[rng.Intn(len(ids))])
+				}
+			}
+		}
+		schedule(0)
+		e.Run()
+		return order
+	}
+	for seed := int64(1); seed <= 40; seed++ {
+		// Identical seeds drive identical rng decisions on both engines,
+		// so the label sequences must match element for element.
+		wheel := run(New, seed)
+		heap := run(NewWithHeap, seed)
+		if len(wheel) != len(heap) {
+			t.Fatalf("seed %d: wheel fired %d events, heap %d", seed, len(wheel), len(heap))
+		}
+		for i := range wheel {
+			if wheel[i] != heap[i] {
+				t.Fatalf("seed %d: dispatch order diverges at %d: wheel %v heap %v",
+					seed, i, wheel[i], heap[i])
+			}
+		}
+	}
+}
+
+// TestWheelFarHorizon exercises high wheel levels: timers at second
+// scale coexisting with picosecond-scale churn, including cascades
+// when the cursor crosses large digit boundaries.
+func TestWheelFarHorizon(t *testing.T) {
+	e := New()
+	var fired []Time
+	at := func(ts ...Time) {
+		for _, x := range ts {
+			x := x
+			e.Schedule(x, func(e *Engine) {
+				if e.Now() != x {
+					t.Errorf("event for %v fired at %v", x, e.Now())
+				}
+				fired = append(fired, x)
+			})
+		}
+	}
+	at(Time(2*Second), Time(Second), 1, 2, Time(Millisecond),
+		Time(Second)+1, Time(Second)+64, Time(2*Second)-1)
+	e.Run()
+	want := []Time{1, 2, Time(Millisecond), Time(Second), Time(Second) + 1,
+		Time(Second) + 64, Time(2*Second) - 1, Time(2*Second) - 1 + 1}
+	want[len(want)-1] = Time(2 * Second)
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v", fired)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+	if e.Now() != Time(2*Second) {
+		t.Fatalf("clock %v", e.Now())
+	}
+}
+
+// TestWheelCancelAcrossLevels cancels events parked at high levels and
+// verifies the survivors still fire in order after cascading.
+func TestWheelCancelAcrossLevels(t *testing.T) {
+	e := New()
+	var fired []Time
+	times := []Time{5, 100, 70000, Time(Microsecond), Time(Millisecond),
+		Time(20 * Millisecond), Time(Second)}
+	ids := make([]EventID, len(times))
+	for i, x := range times {
+		x := x
+		ids[i] = e.Schedule(x, func(*Engine) { fired = append(fired, x) })
+	}
+	for i := 0; i < len(ids); i += 2 {
+		if !e.Cancel(ids[i]) {
+			t.Fatalf("cancel %d failed", i)
+		}
+	}
+	e.Run()
+	want := []Time{100, Time(Microsecond), Time(20 * Millisecond)}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+// sliceFeeder is a minimal Feeder over (at, label) records for tests.
+type sliceFeeder struct {
+	at    []Time
+	label []int
+	prio  int8
+	idx   int
+	got   *[]int
+}
+
+func (f *sliceFeeder) Peek() (Time, int8, bool) {
+	if f.idx >= len(f.at) {
+		return 0, 0, false
+	}
+	return f.at[f.idx], f.prio, true
+}
+
+func (f *sliceFeeder) Fire(e *Engine) {
+	now := e.Now()
+	for f.idx < len(f.at) && f.at[f.idx] == now {
+		*f.got = append(*f.got, f.label[f.idx])
+		f.idx++
+	}
+}
+
+// TestFeederMerge checks the run-loop merge: feeder batches interleave
+// with queued events in (at, prio) order, same-instant records drain
+// in one batch, and the engine counts one step per batch.
+func TestFeederMerge(t *testing.T) {
+	engines(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var got []int
+		f := &sliceFeeder{
+			at:    []Time{10, 20, 20, 20, 30},
+			label: []int{100, 200, 201, 202, 300},
+			prio:  1,
+			got:   &got,
+		}
+		e.SetFeeder(f)
+		// Queue events around and at the feeder instants: prio 0 beats
+		// the feeder at the same instant, prio 2 loses to it.
+		e.SchedulePrio(20, 0, func(*Engine) { got = append(got, 1) })
+		e.SchedulePrio(20, 2, func(*Engine) { got = append(got, 2) })
+		e.Schedule(25, func(*Engine) { got = append(got, 3) })
+		e.Schedule(35, func(*Engine) { got = append(got, 4) })
+		e.Run()
+		want := []int{100, 1, 200, 201, 202, 2, 3, 300, 4}
+		if len(got) != len(want) {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("got %v, want %v", got, want)
+			}
+		}
+		if e.Steps() != 7 { // 4 queue events + 3 feeder batches
+			t.Fatalf("Steps = %d, want 7", e.Steps())
+		}
+		if e.Now() != 35 {
+			t.Fatalf("clock %v, want 35", e.Now())
+		}
+	})
+}
+
+// TestFeederSchedulesDuringFire: records delivered by a feeder batch
+// schedule follow-up events in the past of the wheel's peeked horizon —
+// the regression the wheel's fire-time-only cursor advance exists for.
+func TestFeederSchedulesDuringFire(t *testing.T) {
+	engines(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var got []Time
+		fired := func(e *Engine) { got = append(got, e.Now()) }
+		var f *sliceFeeder
+		var dummy []int
+		f = &sliceFeeder{at: []Time{5}, label: []int{0}, prio: 1, got: &dummy}
+		e.SetFeeder(f)
+		// A queued event far in the future forces the run loop to peek
+		// deep into the wheel before the feeder fires at 5.
+		e.Schedule(Time(Millisecond), fired)
+		e.Schedule(4, func(e *Engine) {})
+		realFire := f.Fire
+		_ = realFire
+		// Wrap: on Fire, schedule a follow-up only 2 ps out.
+		e.SetFeeder(feederFunc{
+			peek: f.Peek,
+			fire: func(e *Engine) {
+				f.Fire(e)
+				e.After(2, fired)
+			},
+		})
+		e.Run()
+		if len(got) != 2 || got[0] != 7 || got[1] != Time(Millisecond) {
+			t.Fatalf("got %v, want [7 %d]", got, Time(Millisecond))
+		}
+	})
+}
+
+type feederFunc struct {
+	peek func() (Time, int8, bool)
+	fire func(e *Engine)
+}
+
+func (f feederFunc) Peek() (Time, int8, bool) { return f.peek() }
+func (f feederFunc) Fire(e *Engine)           { f.fire(e) }
+
+// TestFeederRunUntil: the limit applies to feeder batches exactly as to
+// queued events, and the clock semantics (advance to limit when work
+// remains, stay on drain) are preserved.
+func TestFeederRunUntil(t *testing.T) {
+	engines(t, func(t *testing.T, newEngine func() *Engine) {
+		e := newEngine()
+		var got []int
+		f := &sliceFeeder{at: []Time{10, 40}, label: []int{1, 2}, prio: 1, got: &got}
+		e.SetFeeder(f)
+		e.RunUntil(25)
+		if len(got) != 1 || got[0] != 1 {
+			t.Fatalf("got %v, want [1]", got)
+		}
+		if e.Now() != 25 {
+			t.Fatalf("clock %v, want 25 (feeder work remains)", e.Now())
+		}
+		e.RunUntil(100)
+		if len(got) != 2 {
+			t.Fatalf("got %v after second run", got)
+		}
+		if e.Now() != 40 {
+			t.Fatalf("clock %v, want 40 (drained naturally)", e.Now())
+		}
+	})
+}
+
+// TestRunContextCancel: a cancelled context stops the run within the
+// poll interval, and an uncancelled context is invisible.
+func TestRunContextCancel(t *testing.T) {
+	engines(t, func(t *testing.T, newEngine func() *Engine) {
+		// Uncancelled: identical outcome to Run.
+		e := newEngine()
+		n := 0
+		var tick Handler
+		tick = func(e *Engine) {
+			n++
+			if n < 100 {
+				e.After(10, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		if err := e.RunContext(context.Background()); err != nil {
+			t.Fatalf("RunContext: %v", err)
+		}
+		if n != 100 {
+			t.Fatalf("dispatched %d, want 100", n)
+		}
+
+		// Cancelled mid-run: the loop must exit with the ctx error well
+		// before the self-rescheduling cascade would end on its own.
+		e = newEngine()
+		ctx, cancel := context.WithCancel(context.Background())
+		n = 0
+		var forever Handler
+		forever = func(e *Engine) {
+			n++
+			if n == 3*ctxPollInterval {
+				cancel()
+			}
+			if n < 100*ctxPollInterval {
+				e.After(1000, forever)
+			}
+		}
+		e.Schedule(0, forever)
+		if err := e.RunContext(ctx); err != context.Canceled {
+			t.Fatalf("RunContext error = %v, want context.Canceled", err)
+		}
+		if n >= 5*ctxPollInterval {
+			t.Fatalf("ran %d dispatches after cancellation", n)
+		}
+	})
+}
+
+// TestHeapZeroAllocSteadyState mirrors the wheel's zero-alloc guard on
+// the reference heap engine.
+func TestHeapZeroAllocSteadyState(t *testing.T) {
+	e := NewWithHeap()
+	noop := Handler(func(*Engine) {})
+	for i := 0; i < 64; i++ {
+		e.After(Duration(i+1), noop)
+	}
+	e.Run()
+	allocs := testing.AllocsPerRun(1000, func() {
+		id := e.After(5, noop)
+		e.Cancel(id)
+		e.After(10, noop)
+		e.Run()
+	})
+	if allocs != 0 {
+		t.Fatalf("heap steady-state dispatch allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkScheduleRunWheel and ...Heap compare the kernel-only cost of
+// a self-rescheduling timer cascade on both backends.
+func BenchmarkScheduleRunWheel(b *testing.B) { benchScheduleRun(b, New) }
+func BenchmarkScheduleRunHeap(b *testing.B)  { benchScheduleRun(b, NewWithHeap) }
+
+func benchScheduleRun(b *testing.B, newEngine func() *Engine) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := newEngine()
+		var tick Handler
+		n := 0
+		tick = func(e *Engine) {
+			n++
+			if n < 1000 {
+				e.After(10, tick)
+			}
+		}
+		e.Schedule(0, tick)
+		e.Run()
+	}
+}

@@ -10,11 +10,30 @@
 // secondary priority and, within equal priority, in scheduling order,
 // which makes simulations bit-reproducible across runs.
 //
+// # Schedulers
+//
+// The pending-event store behind an Engine is pluggable. New returns an
+// engine backed by a hierarchical timer wheel (see wheel.go) whose
+// schedule, cancel and fire operations are amortized O(1); NewWithHeap
+// returns the reference binary-heap engine with O(log n) operations.
+// Both dispatch in exactly the same (time, priority, scheduling-order)
+// sequence, so a simulation produces bit-identical results on either —
+// the cross-check test in internal/experiments holds them to that.
+//
+// # Feeders
+//
+// Trace-driven models deliver millions of externally ordered arrivals.
+// Scheduling each one as an engine event pays a schedule/fire round
+// trip per arrival; a Feeder instead exposes the arrival cursor to the
+// run loop, which merges it with the event queue and dispatches
+// whichever comes first. Arrivals never enter the scheduler at all.
+// See SetFeeder.
+//
 // # Ownership contract
 //
 // An Engine and every model scheduled on it belong to a single
 // goroutine. The kernel takes no locks: Schedule, Cancel, Run and Step
-// mutate the event heap directly, and handlers run synchronously
+// mutate the event store directly, and handlers run synchronously
 // inside Run on the calling goroutine. Sharing one Engine between
 // goroutines is a data race by construction.
 //
@@ -25,7 +44,7 @@
 package sim
 
 import (
-	"container/heap"
+	"context"
 	"fmt"
 )
 
@@ -72,7 +91,7 @@ func (d Duration) String() string { return fmt.Sprintf("%.3fus", float64(d)/1e6)
 // engine so it can schedule follow-up events.
 type Handler func(e *Engine)
 
-// event is a pending callback in the engine's priority queue. Event
+// event is a pending callback in the engine's event store. Event
 // objects are pooled per engine: firing or cancelling returns the
 // object to a free list, and the next Schedule reuses it, so the
 // steady-state dispatch loop performs no heap allocation.
@@ -80,9 +99,26 @@ type event struct {
 	at    Time
 	prio  int8   // ties broken by priority, then by seq
 	seq   uint64 // strictly increasing scheduling order
-	index int    // heap index; -1 once removed
+	index int    // heap index (>= 0 while pending); -1 once removed.
 	gen   uint64 // bumped on every recycle; stale EventIDs miscompare
 	fn    Handler
+
+	// Timer-wheel bucket membership (intrusive doubly-linked chain);
+	// unused by the heap scheduler.
+	next, prev  *event
+	level, slot int8
+}
+
+// less orders events by (time, priority, scheduling order) — the total
+// dispatch order both schedulers implement.
+func (ev *event) less(o *event) bool {
+	if ev.at != o.at {
+		return ev.at < o.at
+	}
+	if ev.prio != o.prio {
+		return ev.prio < o.prio
+	}
+	return ev.seq < o.seq
 }
 
 // EventID identifies a scheduled event so it can be cancelled. The ID
@@ -100,42 +136,36 @@ func (id EventID) Valid() bool {
 	return id.ev != nil && id.ev.gen == id.gen && id.ev.index >= 0
 }
 
-// eventQueue implements heap.Interface over pending events.
-type eventQueue []*event
+// scheduler is the pending-event store behind an Engine. Both
+// implementations maintain the same total order: peekMin returns the
+// minimum by (at, prio, seq), fire removes the event peekMin just
+// returned (and may advance internal cursors), unlink removes an
+// arbitrary pending event (the cancel path).
+type scheduler interface {
+	schedule(ev *event)
+	unlink(ev *event)
+	peekMin() *event
+	fire(ev *event)
+	len() int
+}
 
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	a, b := q[i], q[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	if a.prio != b.prio {
-		return a.prio < b.prio
-	}
-	return a.seq < b.seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
+// Feeder is a pull-based source of externally ordered events — a trace
+// cursor, typically — that the run loop merges with the event store.
+// Peek returns the instant and same-instant priority of the source's
+// next batch (ok=false once exhausted); Fire delivers every record due
+// at exactly Now and advances the cursor. The run loop dispatches the
+// feeder when its (instant, priority) sorts strictly before the
+// earliest queued event, so a feeder must use a priority no queued
+// event shares at the same instant for the merge order to be fully
+// determined (ties go to the queue). Peek must be nondecreasing and
+// never return an instant before the engine clock.
+type Feeder interface {
+	Peek() (at Time, prio int8, ok bool)
+	Fire(e *Engine)
 }
 
 // Engine is a single-threaded discrete-event simulation loop.
-// The zero value is not usable; call New.
+// The zero value is not usable; call New or NewWithHeap.
 //
 // An Engine is owned by exactly one goroutine: none of its methods are
 // safe for concurrent use. Run simulations in parallel by giving each
@@ -143,21 +173,34 @@ func (q *eventQueue) Pop() any {
 // runs are fully isolated and each remains deterministic.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	sched   scheduler
+	feeder  Feeder
 	free    []*event // recycled event objects, see event
 	seq     uint64
 	stopped bool
 	steps   uint64
 }
 
-// New returns an engine with the clock at zero.
-func New() *Engine { return &Engine{} }
+// New returns an engine with the clock at zero, backed by the
+// hierarchical timer wheel (amortized O(1) schedule/cancel/fire).
+func New() *Engine { return &Engine{sched: newWheel()} }
+
+// NewWithHeap returns an engine backed by the reference binary-heap
+// scheduler. It dispatches in exactly the same order as New's wheel;
+// it is retained for cross-checking (core.Config.HeapScheduler) and
+// as the simplest-possible reference implementation.
+func NewWithHeap() *Engine { return &Engine{sched: &heapScheduler{}} }
 
 // Now returns the current simulation instant.
 func (e *Engine) Now() Time { return e.now }
 
-// Steps reports how many events have been dispatched.
+// Steps reports how many dispatches have run: fired events plus feeder
+// batches (one batch per distinct instant).
 func (e *Engine) Steps() uint64 { return e.steps }
+
+// SetFeeder attaches a pull-based event source to the run loop. Pass
+// nil to detach. At most one feeder can be attached.
+func (e *Engine) SetFeeder(f Feeder) { e.feeder = f }
 
 // Schedule arranges for fn to run at instant at. Scheduling in the past
 // panics: it is always a model bug.
@@ -190,7 +233,7 @@ func (e *Engine) SchedulePrio(at Time, prio int8, fn Handler) EventID {
 		ev = &event{}
 	}
 	ev.at, ev.prio, ev.seq, ev.fn = at, prio, e.seq, fn
-	heap.Push(&e.queue, ev)
+	e.sched.schedule(ev)
 	return EventID{ev, ev.gen}
 }
 
@@ -209,53 +252,125 @@ func (e *Engine) Cancel(id EventID) bool {
 	if !id.Valid() {
 		return false
 	}
-	heap.Remove(&e.queue, id.ev.index)
+	e.sched.unlink(id.ev)
 	e.recycle(id.ev)
 	return true
 }
 
-// Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of queued events (feeder records are not
+// queued and do not count).
+func (e *Engine) Pending() int { return e.sched.len() }
 
 // Stop makes Run return after the current event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// Run dispatches events until the queue drains or Stop is called.
+// Run dispatches events until the queue and feeder drain or Stop is
+// called.
 func (e *Engine) Run() {
 	e.RunUntil(Time(1<<62 - 1))
+}
+
+// RunContext dispatches like Run but polls ctx every few thousand
+// dispatches and returns its error once cancelled. Polling does not
+// perturb the simulation: a run that is never cancelled is
+// bit-identical to Run.
+func (e *Engine) RunContext(ctx context.Context) error {
+	return e.runUntil(ctx, Time(1<<62-1))
 }
 
 // RunUntil dispatches events with instants <= limit. The clock is left
 // at the last dispatched event (or limit if nothing fired after it).
 func (e *Engine) RunUntil(limit Time) {
-	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		ev := e.queue[0]
-		if ev.at > limit {
-			break
+	e.runUntil(nil, limit)
+}
+
+// next selects the earliest pending dispatch: the scheduler's minimum
+// event, or the feeder's batch when its (instant, priority) sorts
+// strictly first. useFeeder=true means the feeder fires next.
+func (e *Engine) next() (ev *event, useFeeder bool) {
+	ev = e.sched.peekMin()
+	if e.feeder != nil {
+		if fat, fprio, ok := e.feeder.Peek(); ok {
+			if ev == nil || fat < ev.at || (fat == ev.at && fprio < ev.prio) {
+				return nil, true
+			}
 		}
-		heap.Pop(&e.queue)
-		e.now = ev.at
-		e.steps++
-		fn := ev.fn
-		e.recycle(ev)
-		fn(e)
 	}
-	if e.now < limit && len(e.queue) == 0 {
+	return ev, false
+}
+
+// ctxPollInterval is how many dispatches pass between ctx.Err() checks
+// in RunContext: rare enough to stay off the profile, frequent enough
+// that cancellation lands within microseconds of wall time.
+const ctxPollInterval = 8192
+
+func (e *Engine) runUntil(ctx context.Context, limit Time) error {
+	e.stopped = false
+	var sincePoll uint
+	for !e.stopped {
+		ev, useFeeder := e.next()
+		if useFeeder {
+			fat, _, _ := e.feeder.Peek()
+			if fat > limit {
+				break
+			}
+			e.now = fat
+			e.steps++
+			e.feeder.Fire(e)
+		} else {
+			if ev == nil || ev.at > limit {
+				break
+			}
+			e.sched.fire(ev)
+			e.now = ev.at
+			e.steps++
+			fn := ev.fn
+			e.recycle(ev)
+			fn(e)
+		}
+		if ctx != nil {
+			if sincePoll++; sincePoll >= ctxPollInterval {
+				sincePoll = 0
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if e.now < limit && e.sched.len() == 0 && !e.feederPending() {
 		// Queue drained naturally: clock stays at last event.
-		return
+		return nil
 	}
 	if !e.stopped && e.now < limit {
 		e.now = limit
 	}
+	return nil
 }
 
-// Step dispatches exactly one event and reports whether one fired.
-func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+// feederPending reports whether an attached feeder still has records.
+func (e *Engine) feederPending() bool {
+	if e.feeder == nil {
 		return false
 	}
-	ev := heap.Pop(&e.queue).(*event)
+	_, _, ok := e.feeder.Peek()
+	return ok
+}
+
+// Step dispatches exactly one event (or feeder batch) and reports
+// whether one fired.
+func (e *Engine) Step() bool {
+	ev, useFeeder := e.next()
+	if useFeeder {
+		fat, _, _ := e.feeder.Peek()
+		e.now = fat
+		e.steps++
+		e.feeder.Fire(e)
+		return true
+	}
+	if ev == nil {
+		return false
+	}
+	e.sched.fire(ev)
 	e.now = ev.at
 	e.steps++
 	fn := ev.fn

@@ -96,11 +96,28 @@ func (tr *Trace) AppendDMA(at time.Duration, src DMASource, bus int, page, pages
 	if bus < 0 || bus > 255 {
 		return fmt.Errorf("dmamem: bus %d", bus)
 	}
+	if err := tr.checkAppend(at, page); err != nil {
+		return err
+	}
 	tr.t.Records = append(tr.t.Records, trace.Record{
 		Time: fromStd(at), Kind: kind, Source: s,
 		Bus: uint8(bus), Pages: uint16(pages), Page: memsys.PageID(page),
 	})
-	return tr.t.Validate()
+	return nil
+}
+
+// checkAppend rejects a record before it enters the trace, so a failed
+// append leaves the trace exactly as it was (and appends stay O(1):
+// only the new record needs checking against the last one).
+func (tr *Trace) checkAppend(at time.Duration, page int) error {
+	if page < 0 {
+		return fmt.Errorf("dmamem: negative page %d", page)
+	}
+	if n := len(tr.t.Records); n > 0 && fromStd(at) < tr.t.Records[n-1].Time {
+		return fmt.Errorf("dmamem: record at %v before predecessor at %v; traces are appended in time order",
+			at, time.Duration(tr.t.Records[n-1].Time/1000)*time.Nanosecond)
+	}
+	return nil
 }
 
 // AppendProcessorAccess appends one 64-byte processor access to page.
@@ -109,11 +126,14 @@ func (tr *Trace) AppendProcessorAccess(at time.Duration, page int, write bool) e
 	if write {
 		kind = trace.ProcWrite
 	}
+	if err := tr.checkAppend(at, page); err != nil {
+		return err
+	}
 	tr.t.Records = append(tr.t.Records, trace.Record{
 		Time: fromStd(at), Kind: kind, Source: trace.SrcProcessor,
 		Page: memsys.PageID(page),
 	})
-	return tr.t.Validate()
+	return nil
 }
 
 // SetClientResponse declares the workload's mean client-perceived
@@ -139,6 +159,22 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 func fromStd(d time.Duration) sim.Time        { return sim.Time(d.Nanoseconds()) * 1000 }
 func fromStdDur(d time.Duration) sim.Duration { return sim.Duration(d.Nanoseconds()) * 1000 }
 
+// applyGeneratorOptions is the one Duration/Seed/rate defaulting rule
+// every trace-generator option struct shares: a zero option keeps the
+// generator's default, a non-zero option overrides it. The pointers
+// address the fields of the generator's native config struct.
+func applyGeneratorOptions(dur *sim.Duration, seed *uint64, rate *float64, oDur time.Duration, oSeed uint64, oRate float64) {
+	if oDur != 0 {
+		*dur = fromStdDur(oDur)
+	}
+	if oSeed != 0 {
+		*seed = oSeed
+	}
+	if oRate != 0 {
+		*rate = oRate
+	}
+}
+
 // SyntheticOptions parameterizes the paper's synthetic traces.
 type SyntheticOptions struct {
 	// Duration of the trace (default 100ms, as in the evaluation).
@@ -159,15 +195,7 @@ type SyntheticOptions struct {
 
 func (o SyntheticOptions) st() synth.StConfig {
 	cfg := synth.DefaultSt()
-	if o.Duration != 0 {
-		cfg.Duration = fromStdDur(o.Duration)
-	}
-	if o.Seed != 0 {
-		cfg.Seed = o.Seed
-	}
-	if o.RatePerMs != 0 {
-		cfg.RatePerMs = o.RatePerMs
-	}
+	applyGeneratorOptions(&cfg.Duration, &cfg.Seed, &cfg.RatePerMs, o.Duration, o.Seed, o.RatePerMs)
 	if o.Alpha != 0 {
 		cfg.Alpha = o.Alpha
 	}
@@ -219,20 +247,19 @@ type ServerOptions struct {
 	RequestRatePerMs float64
 }
 
+// apply overrides the generator config's duration, seed and rate
+// fields with the options' non-zero values; every server constructor
+// is a thin wrapper around its model's default config plus this.
+func (o ServerOptions) apply(dur *sim.Duration, seed *uint64, rate *float64) {
+	applyGeneratorOptions(dur, seed, rate, o.Duration, o.Seed, o.RequestRatePerMs)
+}
+
 // StorageServerTrace runs the storage-server model — client requests
 // through a buffer cache, a disk array and a SAN — and returns the
 // memory trace it induces along with its summary.
 func StorageServerTrace(o ServerOptions) (*Trace, error) {
 	cfg := server.DefaultStorage()
-	if o.Duration != 0 {
-		cfg.Duration = fromStdDur(o.Duration)
-	}
-	if o.Seed != 0 {
-		cfg.Seed = o.Seed
-	}
-	if o.RequestRatePerMs != 0 {
-		cfg.RequestRatePerMs = o.RequestRatePerMs
-	}
+	o.apply(&cfg.Duration, &cfg.Seed, &cfg.RequestRatePerMs)
 	res, err := server.GenerateStorage(cfg)
 	if err != nil {
 		return nil, err
@@ -246,15 +273,7 @@ func StorageServerTrace(o ServerOptions) (*Trace, error) {
 // results leaving over the network.
 func DecisionSupportTrace(o ServerOptions) (*Trace, error) {
 	cfg := server.DefaultDSS()
-	if o.Duration != 0 {
-		cfg.Duration = fromStdDur(o.Duration)
-	}
-	if o.Seed != 0 {
-		cfg.Seed = o.Seed
-	}
-	if o.RequestRatePerMs != 0 {
-		cfg.QueryRatePerMs = o.RequestRatePerMs
-	}
+	o.apply(&cfg.Duration, &cfg.Seed, &cfg.QueryRatePerMs)
 	res, err := server.GenerateDSS(cfg)
 	if err != nil {
 		return nil, err
@@ -266,15 +285,7 @@ func DecisionSupportTrace(o ServerOptions) (*Trace, error) {
 // memory-resident bufferpool with processor accesses and result DMAs.
 func DatabaseServerTrace(o ServerOptions) (*Trace, error) {
 	cfg := server.DefaultDatabase()
-	if o.Duration != 0 {
-		cfg.Duration = fromStdDur(o.Duration)
-	}
-	if o.Seed != 0 {
-		cfg.Seed = o.Seed
-	}
-	if o.RequestRatePerMs != 0 {
-		cfg.QueryRatePerMs = o.RequestRatePerMs
-	}
+	o.apply(&cfg.Duration, &cfg.Seed, &cfg.QueryRatePerMs)
 	res, err := server.GenerateDatabase(cfg)
 	if err != nil {
 		return nil, err
