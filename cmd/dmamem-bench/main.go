@@ -5,6 +5,8 @@
 //
 //	dmamem-bench [-duration 100ms] [-seed 1] [-parallel N] [-timing]
 //	             [-scheduler wheel|heap] [-feeder batched|per-event]
+//	             [-shards N] [-shard-addrs host:port,...]
+//	             [-shard-worker] [-shard-listen addr]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	             [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2|dss|tech|seeds]
 //
@@ -21,6 +23,15 @@
 // the wall-clock changes, which makes the flags a self-service
 // cross-check and a profiling aid. -cpuprofile and -memprofile write
 // pprof profiles of the whole run for `go tool pprof`.
+//
+// -shards N runs the sweep figures (5, 8, 9, 10) through the
+// process-sharded executor: the grid is partitioned by sweep point
+// across N worker processes (re-executions of this binary with
+// -shard-worker, or the TCP workers named by -shard-addrs) and the
+// results are reassembled in grid order, so the printed output is
+// byte-identical to the in-process run at any shard count.
+// -shard-worker serves one shard session on stdin/stdout and exits;
+// -shard-listen serves shard sessions over TCP until interrupted.
 package main
 
 import (
@@ -31,6 +42,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,10 +66,31 @@ func realMain() int {
 	feeder := flag.String("feeder", "batched", "trace delivery: batched (cursor feeder) or per-event")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file at exit")
+	shards := flag.Int("shards", 0, "run sweep figures across N worker processes (0 = in-process)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated TCP addresses of -shard-listen workers (default: spawn local subprocesses)")
+	shardWorker := flag.Bool("shard-worker", false, "serve one sweep-shard session on stdin/stdout and exit")
+	shardListen := flag.String("shard-listen", "", "serve sweep-shard sessions on this TCP address until interrupted")
+	shardTimeout := flag.Duration("shard-timeout", 0, "per-slice deadline before the coordinator retries on a fresh worker (0 = none)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *shardWorker {
+		if err := experiments.ServeShard(ctx, os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+	if *shardListen != "" {
+		err := experiments.ListenAndServeShards(ctx, *shardListen, os.Stderr)
+		if err != nil && ctx.Err() == nil {
+			fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+			return 1
+		}
+		return 0
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -114,6 +147,23 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "dmamem-bench: unknown -feeder %q (want batched or per-event)\n", *feeder)
 		return 2
 	}
+	var coord *experiments.Coordinator
+	if *shards > 0 || *shardAddrs != "" {
+		coord = &experiments.Coordinator{Shards: *shards, Parallel: *parallel, Timeout: *shardTimeout, Timings: runner.Timings}
+		if *shardAddrs != "" {
+			coord.Addrs = strings.Split(*shardAddrs, ",")
+			if coord.Shards == 0 {
+				coord.Shards = len(coord.Addrs) // one slice per worker by default
+			}
+		} else {
+			exe, err := os.Executable()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+				return 1
+			}
+			coord.WorkerCommand = []string{exe, "-shard-worker"}
+		}
+	}
 	start := time.Now()
 
 	failed := false
@@ -167,7 +217,11 @@ func realMain() int {
 		return nil
 	})
 	run("5", func() error {
-		pts, err := s.Fig5(ctx, []float64{0.01, 0.05, 0.10, 0.20, 0.30}, []int{2, 3, 6})
+		pts, err := gridPoints[experiments.Fig5Point](ctx, s, coord, experiments.GridSpec{
+			Name:     experiments.GridFig5,
+			CPLimits: []float64{0.01, 0.05, 0.10, 0.20, 0.30},
+			Groups:   []int{2, 3, 6},
+		})
 		if err != nil {
 			return err
 		}
@@ -192,7 +246,10 @@ func realMain() int {
 		return nil
 	})
 	run("8", func() error {
-		pts, err := s.Fig8(ctx, []float64{25, 50, 100, 200, 400})
+		pts, err := gridPoints[experiments.SweepPoint](ctx, s, coord, experiments.GridSpec{
+			Name:       experiments.GridFig8,
+			RatesPerMs: []float64{25, 50, 100, 200, 400},
+		})
 		if err != nil {
 			return err
 		}
@@ -202,7 +259,10 @@ func realMain() int {
 		return nil
 	})
 	run("9", func() error {
-		pts, err := s.Fig9(ctx, []int{0, 50, 100, 233, 400})
+		pts, err := gridPoints[experiments.SweepPoint](ctx, s, coord, experiments.GridSpec{
+			Name:        experiments.GridFig9,
+			PerTransfer: []int{0, 50, 100, 233, 400},
+		})
 		if err != nil {
 			return err
 		}
@@ -212,7 +272,10 @@ func realMain() int {
 		return nil
 	})
 	run("10", func() error {
-		pts, err := s.Fig10(ctx, []float64{0.5e9, 1.064e9, 2e9, 3e9})
+		pts, err := gridPoints[experiments.SweepPoint](ctx, s, coord, experiments.GridSpec{
+			Name:  experiments.GridFig10,
+			BusBW: []float64{0.5e9, 1.064e9, 2e9, 3e9},
+		})
 		if err != nil {
 			return err
 		}
@@ -251,7 +314,11 @@ func realMain() int {
 	if *timing {
 		var memAfter runtime.MemStats
 		runtime.ReadMemStats(&memAfter)
-		runner.Timings.SetAllocs(memAfter.Mallocs - memBefore.Mallocs)
+		if coord == nil {
+			// Sharded sweeps allocate in the workers; this process's
+			// count would misattribute coordinator overhead.
+			runner.Timings.SetAllocs(memAfter.Mallocs - memBefore.Mallocs)
+		}
 		fmt.Fprint(os.Stderr, runner.Timings.Summary(time.Since(start)))
 	}
 	if failed {
@@ -262,4 +329,15 @@ func realMain() int {
 
 func fromStd(d time.Duration) sim.Duration {
 	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+}
+
+// gridPoints runs a sweep grid in-process, or through the shard
+// coordinator when -shards selected one. Both paths enumerate and
+// reassemble points in grid order, so the caller prints identical
+// bytes either way.
+func gridPoints[T any](ctx context.Context, s *experiments.Suite, coord *experiments.Coordinator, gs experiments.GridSpec) ([]T, error) {
+	if coord != nil {
+		return experiments.ShardedGrid[T](ctx, coord, s.Spec(), gs)
+	}
+	return experiments.GridRun[T](ctx, s, gs)
 }

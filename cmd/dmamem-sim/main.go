@@ -12,6 +12,12 @@
 //	  -groups 2          popularity groups for PL
 //	  -compare           also run the baseline and report savings
 //	  -parallel N        run the baseline and technique concurrently
+//
+// With -shard-worker the command instead serves one sweep-shard
+// session on stdin/stdout (see the shard protocol in
+// internal/experiments); with -shard-listen addr it serves shard
+// sessions over TCP until interrupted. Both make any machine with the
+// binary usable as a worker for a sharded dmamem-bench sweep.
 package main
 
 import (
@@ -26,6 +32,7 @@ import (
 	"time"
 
 	"dmamem"
+	"dmamem/internal/experiments"
 )
 
 func main() {
@@ -39,10 +46,26 @@ func main() {
 	compare := flag.Bool("compare", true, "also run the baseline and report savings")
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the -compare pair (1 = sequential)")
+	shardWorker := flag.Bool("shard-worker", false, "serve one sweep-shard session on stdin/stdout and exit")
+	shardListen := flag.String("shard-listen", "", "serve sweep-shard sessions on this TCP address until interrupted")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *shardWorker {
+		if err := experiments.ServeShard(ctx, os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *shardListen != "" {
+		err := experiments.ListenAndServeShards(ctx, *shardListen, os.Stderr)
+		if err != nil && ctx.Err() == nil {
+			fatal(err)
+		}
+		return
+	}
 
 	tr, err := loadTrace(*traceFile, *workload, *duration, *seed)
 	if err != nil {

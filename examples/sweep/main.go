@@ -3,10 +3,13 @@
 // memory rate stays at 3.2 GB/s while the I/O bus generation varies
 // from PCI-X up to a hypothetical bus as fast as the memory itself.
 //
-// The bus points are independent simulations, so they fan out across
-// -parallel worker goroutines; each result lands in its own slot and
-// the table prints in sweep order, so the output is identical at any
-// parallelism.
+// The bus points form a Figure 10 grid (internal/experiments), so the
+// same enumeration runs three ways with identical printed bytes:
+// in-process across -parallel worker goroutines, sharded across
+// -shards worker processes (re-executions of this binary), or against
+// remote -shard-addrs TCP workers. Each point lands in its
+// pre-assigned slot and the table prints in sweep order, which is
+// what makes the output independent of how the work was spread out.
 package main
 
 import (
@@ -17,19 +20,36 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
-	"sync"
+	"strings"
 	"syscall"
 	"time"
 
 	"dmamem"
+	"dmamem/internal/experiments"
+	"dmamem/internal/sim"
 )
 
 func main() {
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the sweep (1 = sequential)")
+	shards := flag.Int("shards", 0, "run the sweep across N worker processes (0 = in-process)")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated TCP addresses of shard workers (default: spawn local subprocesses)")
+	shardWorker := flag.Bool("shard-worker", false, "serve one sweep-shard session on stdin/stdout and exit")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *shardWorker {
+		if err := experiments.ServeShard(ctx, os.Stdin, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	// Suite seed 0 makes the suite's Synthetic-St workload (generator
+	// seed = suite seed + 1) the same trace the public API builds with
+	// Seed 1 — the header summary below describes exactly what runs.
+	spec := experiments.SuiteSpec{Duration: 40 * sim.Millisecond, Seed: 0}
 
 	tr, err := dmamem.SyntheticStorageTrace(dmamem.SyntheticOptions{
 		Duration: 40 * time.Millisecond,
@@ -51,70 +71,44 @@ func main() {
 		{"2 GB/s", 2e9},
 		{"3 GB/s", 3e9},
 	}
-
-	// One job per (bus, technique); every job writes only its own
-	// slot, so the fan-out is race-free and the printed table is
-	// deterministic.
-	type job struct {
-		bus  int
-		tech dmamem.Technique
-		out  *float64
+	gs := experiments.GridSpec{
+		Name:      experiments.GridFig10,
+		Workloads: []string{"Synthetic-St"},
 	}
-	savings := make([][2]float64, len(buses))
-	var jobs []job
-	for i := range buses {
-		jobs = append(jobs,
-			job{i, dmamem.TemporalAlignment, &savings[i][0]},
-			job{i, dmamem.TemporalAlignmentWithLayout, &savings[i][1]})
+	for _, b := range buses {
+		gs.BusBW = append(gs.BusBW, b.bw)
 	}
 
-	workers := *parallel
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg      sync.WaitGroup
-		errOnce sync.Once
-		jobErr  error
-		next    = make(chan job)
-	)
-	go func() {
-		defer close(next)
-		for _, j := range jobs {
-			select {
-			case next <- j:
-			case <-ctx.Done():
-				return
+	var pts []experiments.SweepPoint
+	if *shards > 0 || *shardAddrs != "" {
+		coord := &experiments.Coordinator{Shards: *shards, Parallel: *parallel}
+		if *shardAddrs != "" {
+			coord.Addrs = strings.Split(*shardAddrs, ",")
+			if coord.Shards == 0 {
+				coord.Shards = len(coord.Addrs) // one slice per worker by default
 			}
+		} else {
+			exe, err := os.Executable()
+			if err != nil {
+				log.Fatal(err)
+			}
+			coord.WorkerCommand = []string{exe, "-shard-worker"}
 		}
-	}()
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for j := range next {
-				cmp, err := dmamem.CompareContext(ctx, dmamem.Simulation{
-					Technique: j.tech, CPLimit: 0.10,
-					BusBandwidth: buses[j.bus].bw}, tr, 1)
-				if err != nil {
-					errOnce.Do(func() { jobErr = err })
-					return
-				}
-				*j.out = cmp.Savings
-			}
-		}()
+		pts, err = experiments.ShardedGrid[experiments.SweepPoint](ctx, coord, spec, gs)
+	} else {
+		s := experiments.NewSuiteFromSpec(spec)
+		s.Runner = experiments.NewRunner(*parallel)
+		pts, err = experiments.GridRun[experiments.SweepPoint](ctx, s, gs)
 	}
-	wg.Wait()
-	if jobErr != nil {
-		log.Fatal(jobErr)
-	}
-	if err := ctx.Err(); err != nil {
+	if err != nil {
 		log.Fatal(err)
 	}
 
+	// The grid enumerates (bus, scheme) pairs in sweep order: DMA-TA
+	// then DMA-TA-PL for each bus.
 	for i, b := range buses {
 		fmt.Printf("%14s %8.1f %11.1f%% %11.1f%%\n",
-			b.name, 3.2e9/b.bw, 100*savings[i][0], 100*savings[i][1])
+			b.name, 3.2e9/b.bw, 100*pts[2*i].Savings, 100*pts[2*i+1].Savings)
 	}
 	fmt.Println("\n(a bus as fast as the memory leaves no mismatch to reclaim;")
 	fmt.Println(" the slower the I/O bus, the more energy alignment recovers)")

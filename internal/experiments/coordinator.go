@@ -1,0 +1,333 @@
+// Shard coordinator: the driving side of the process-sharded sweep
+// executor. The coordinator partitions a grid's points into
+// contiguous slices, runs every slice through a worker session
+// (subprocess pipes or TCP), retries slices lost to transport
+// failures on fresh workers, and reassembles the streamed results by
+// global point index — so the output is byte-identical to the
+// in-process runner at any shard count.
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"time"
+
+	"dmamem/internal/metrics"
+)
+
+// Coordinator shards a sweep grid across worker processes. The zero
+// value is not runnable: set Shards and exactly one transport source
+// (WorkerCommand for subprocess workers, Addrs for TCP workers).
+type Coordinator struct {
+	// Shards is the number of slices the grid is cut into (and the
+	// number of concurrently running workers); <= 1 means one.
+	Shards int
+	// Parallel is the total worker-goroutine budget, divided evenly
+	// across shards (each worker gets ceil(Parallel/Shards), min 1).
+	Parallel int
+	// WorkerCommand is the argv of a worker subprocess speaking the
+	// shard protocol on stdin/stdout (e.g. {"dmamem-bench",
+	// "-shard-worker"}). Used when Addrs is empty.
+	WorkerCommand []string
+	// WorkerEnv is appended to the coordinator's environment when
+	// spawning WorkerCommand.
+	WorkerEnv []string
+	// Addrs are TCP addresses of ListenAndServeShards workers. When
+	// non-empty they take precedence over WorkerCommand; slices are
+	// assigned round-robin, and retries move to the next address.
+	Addrs []string
+	// Retries is the number of times a slice lost to a transport
+	// failure (worker crash, broken pipe, timeout) is rerun on a fresh
+	// worker before the sweep fails; < 0 disables retries. Worker-
+	// reported errors and protocol violations are never retried.
+	Retries int
+	// Timeout bounds one slice attempt; 0 means no limit.
+	Timeout time.Duration
+	// Timings, when set, accumulates worker-reported per-job wall
+	// times (merged with Timings.Merge, so baselines computed by
+	// several shards appear once).
+	Timings *metrics.Timings
+
+	// dial overrides transport creation in tests; attempt counts from
+	// 0 within one slice.
+	dial func(ctx context.Context, shard, attempt int) (shardTransport, error)
+}
+
+// DefaultShardRetries is the retry budget used when Retries is 0.
+const DefaultShardRetries = 2
+
+// shardTransport is one worker session's byte stream plus an identity
+// for error messages. Closing it must unblock concurrent reads.
+type shardTransport interface {
+	io.ReadWriter
+	Close() error
+	Name() string
+}
+
+// hardShardError marks failures a retry cannot fix: worker-reported
+// errors, protocol violations, and coordinator-side bugs.
+type hardShardError struct{ err error }
+
+func (e *hardShardError) Error() string { return e.err.Error() }
+func (e *hardShardError) Unwrap() error { return e.err }
+
+func hard(err error) error { return &hardShardError{err} }
+
+// Run executes the grid across the coordinator's shards and returns
+// the raw JSON of every point in grid order. Each point's bytes are
+// exactly what the worker's json.Marshal produced, and Go's float64
+// encoding round-trips exactly, so decoding them (see ShardedGrid)
+// yields the same values bit for bit as an in-process run.
+func (c *Coordinator) Run(ctx context.Context, sp SuiteSpec, gs GridSpec) ([]json.RawMessage, error) {
+	// Resolve locally only to size and label the partition; no
+	// simulation state is built here.
+	g, err := NewSuiteFromSpec(sp).resolveGrid(gs)
+	if err != nil {
+		return nil, err
+	}
+	shards := c.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > g.n {
+		shards = g.n
+	}
+	if g.n == 0 {
+		return nil, nil
+	}
+	perWorker := 1
+	if c.Parallel > shards {
+		perWorker = (c.Parallel + shards - 1) / shards
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	out := make([]json.RawMessage, g.n)
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for k := 0; k < shards; k++ {
+		lo, hi := k*g.n/shards, (k+1)*g.n/shards
+		wg.Add(1)
+		go func(k, lo, hi int) {
+			defer wg.Done()
+			if err := c.runSlice(ctx, sp, gs, k, shards, lo, hi, perWorker, out); err != nil {
+				errs[k] = err
+				cancel() // a dead slice dooms the sweep; stop the rest
+			}
+		}(k, lo, hi)
+	}
+	wg.Wait()
+	// First failed shard in slice order keeps the reported error
+	// deterministic when several fail together.
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// runSlice runs points [lo,hi) through worker sessions, retrying
+// transport failures on fresh workers up to the retry budget.
+func (c *Coordinator) runSlice(ctx context.Context, sp SuiteSpec, gs GridSpec, shard, shards, lo, hi, perWorker int, out []json.RawMessage) error {
+	retries := c.Retries
+	if retries == 0 {
+		retries = DefaultShardRetries
+	} else if retries < 0 {
+		retries = 0
+	}
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.trySlice(ctx, sp, gs, shard, attempt, lo, hi, perWorker, out)
+		if err == nil || ctx.Err() != nil {
+			break
+		}
+		var h *hardShardError
+		if errors.As(err, &h) || attempt >= retries {
+			break
+		}
+		// Crash-loop damping; the failure was process- or
+		// network-level, not a function of the workload.
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Duration(50<<attempt) * time.Millisecond):
+		}
+	}
+	if err != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	if err != nil {
+		return fmt.Errorf("experiments: shard %d/%d (points %d..%d): %w", shard, shards, lo, hi-1, err)
+	}
+	return nil
+}
+
+// trySlice runs one worker session for points [lo,hi): open a
+// transport, send the request, and stream responses into out until
+// the Done frame accounts for every point.
+func (c *Coordinator) trySlice(ctx context.Context, sp SuiteSpec, gs GridSpec, shard, attempt, lo, hi, perWorker int, out []json.RawMessage) error {
+	if c.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+		defer cancel()
+	}
+	tr, err := c.transport(ctx, shard, attempt)
+	if err != nil {
+		return err
+	}
+	defer tr.Close()
+	// Closing the transport is what unblocks a Read stuck on a hung
+	// or canceled worker.
+	defer context.AfterFunc(ctx, func() { tr.Close() })()
+
+	points := make([]int, hi-lo)
+	for i := range points {
+		points[i] = lo + i
+	}
+	req := ShardRequest{Version: shardProtoVersion, Suite: sp, Grid: gs, Points: points, Parallel: perWorker}
+	if err := writeFrame(tr, req); err != nil {
+		return fmt.Errorf("%s: send request: %w", tr.Name(), err)
+	}
+	got := 0
+	seen := make([]bool, hi-lo)
+	for {
+		payload, err := readFrameBytes(tr)
+		if err != nil {
+			if errors.Is(err, errMalformed) {
+				return hard(fmt.Errorf("%s: %w", tr.Name(), err))
+			}
+			return fmt.Errorf("%s: read response: %w", tr.Name(), err)
+		}
+		var resp ShardResponse
+		if err := json.Unmarshal(payload, &resp); err != nil {
+			return hard(fmt.Errorf("%s: %w: %v", tr.Name(), errMalformed, err))
+		}
+		switch {
+		case resp.Err != "":
+			return hard(fmt.Errorf("%s: worker error: %s", tr.Name(), resp.Err))
+		case resp.Done:
+			if got != hi-lo {
+				return hard(fmt.Errorf("%s: %w: Done after %d of %d points", tr.Name(), errMalformed, got, hi-lo))
+			}
+			if c.Timings != nil {
+				c.Timings.Merge(resp.Timings)
+			}
+			return nil
+		default:
+			if resp.Index < lo || resp.Index >= hi {
+				return hard(fmt.Errorf("%s: %w: point %d outside slice %d..%d", tr.Name(), errMalformed, resp.Index, lo, hi-1))
+			}
+			if seen[resp.Index-lo] {
+				return hard(fmt.Errorf("%s: %w: duplicate point %d", tr.Name(), errMalformed, resp.Index))
+			}
+			if len(resp.Point) == 0 {
+				return hard(fmt.Errorf("%s: %w: point %d has no payload", tr.Name(), errMalformed, resp.Index))
+			}
+			seen[resp.Index-lo] = true
+			got++
+			out[resp.Index] = resp.Point
+		}
+	}
+}
+
+// transport opens the worker session for one slice attempt.
+func (c *Coordinator) transport(ctx context.Context, shard, attempt int) (shardTransport, error) {
+	switch {
+	case c.dial != nil:
+		return c.dial(ctx, shard, attempt)
+	case len(c.Addrs) > 0:
+		// Round-robin over addresses; a retry moves to the next one so
+		// a single dead machine doesn't pin its slice.
+		addr := c.Addrs[(shard+attempt)%len(c.Addrs)]
+		var d net.Dialer
+		conn, err := d.DialContext(ctx, "tcp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("dial worker %s: %w", addr, err)
+		}
+		return &tcpTransport{Conn: conn, addr: addr}, nil
+	case len(c.WorkerCommand) > 0:
+		return startProcWorker(c.WorkerCommand, c.WorkerEnv)
+	}
+	return nil, hard(errors.New("no worker transport configured (set WorkerCommand or Addrs)"))
+}
+
+// tcpTransport is a worker session over one TCP connection.
+type tcpTransport struct {
+	net.Conn
+	addr string
+}
+
+func (t *tcpTransport) Name() string { return "worker " + t.addr }
+
+// procTransport is a worker session over a subprocess's stdin/stdout.
+type procTransport struct {
+	cmd   *exec.Cmd
+	stdin io.WriteCloser
+	out   io.ReadCloser
+	once  sync.Once
+}
+
+func startProcWorker(argv, env []string) (*procTransport, error) {
+	cmd := exec.Command(argv[0], argv[1:]...)
+	cmd.Env = append(os.Environ(), env...)
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		return nil, err
+	}
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, fmt.Errorf("spawn worker %s: %w", argv[0], err)
+	}
+	return &procTransport{cmd: cmd, stdin: stdin, out: out}, nil
+}
+
+func (p *procTransport) Read(b []byte) (int, error)  { return p.out.Read(b) }
+func (p *procTransport) Write(b []byte) (int, error) { return p.stdin.Write(b) }
+
+func (p *procTransport) Name() string {
+	return fmt.Sprintf("worker proc %s (pid %d)", strings.Join(p.cmd.Args, " "), p.cmd.Process.Pid)
+}
+
+// Close tears the worker down: kill covers hung or canceled workers,
+// and Wait reaps the process and closes both pipes.
+func (p *procTransport) Close() error {
+	var err error
+	p.once.Do(func() {
+		p.stdin.Close()
+		if p.cmd.Process != nil {
+			p.cmd.Process.Kill()
+		}
+		err = p.cmd.Wait()
+	})
+	return err
+}
+
+// ShardedGrid executes the grid through the coordinator and decodes
+// the reassembled points. It is the sharded counterpart of GridRun:
+// the same (suite spec, grid spec) pair yields the same []T values —
+// and therefore byte-identical rendered output — at any shard count.
+func ShardedGrid[T any](ctx context.Context, c *Coordinator, sp SuiteSpec, gs GridSpec) ([]T, error) {
+	raw, err := c.Run(ctx, sp, gs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(raw))
+	for i, b := range raw {
+		if err := json.Unmarshal(b, &out[i]); err != nil {
+			return nil, fmt.Errorf("experiments: grid %s point %d: decode result: %w", gs.Name, i, err)
+		}
+	}
+	return out, nil
+}

@@ -15,7 +15,6 @@ import (
 	"strings"
 	"sync"
 
-	"dmamem/internal/bus"
 	"dmamem/internal/controller"
 	"dmamem/internal/core"
 	"dmamem/internal/energy"
@@ -51,8 +50,9 @@ type Suite struct {
 	HeapScheduler  bool
 	PerEventFeeder bool
 
-	mu    sync.Mutex
-	cache map[string]*cacheEntry
+	mu        sync.Mutex
+	cache     map[string]*cacheEntry
+	baselines map[string]*baseEntry
 }
 
 // cacheEntry is the single-flight slot for one workload trace: the
@@ -157,12 +157,16 @@ func (s *Suite) run(ctx context.Context, cfg core.Config, tr *trace.Trace) (*cor
 }
 
 // runPair is RunBaselinePair with the suite's engine knobs and
-// cancellation.
-func (s *Suite) runPair(ctx context.Context, base, tech core.Config, tr *trace.Trace) (savings float64, err error) {
+// cancellation. It also reports the combined simulation event count of
+// the pair, so sweep jobs feed events/sec observability.
+func (s *Suite) runPair(ctx context.Context, base, tech core.Config, tr *trace.Trace) (savings float64, events uint64, err error) {
 	base.HeapScheduler, tech.HeapScheduler = s.HeapScheduler, s.HeapScheduler
 	base.PerEventFeeder, tech.PerEventFeeder = s.PerEventFeeder, s.PerEventFeeder
-	_, _, savings, err = core.RunBaselinePairParallel(ctx, base, tech, tr, 1)
-	return savings, err
+	b, t, savings, err := core.RunBaselinePairParallel(ctx, base, tech, tr, 1)
+	if err != nil {
+		return 0, 0, err
+	}
+	return savings, b.SimEvents() + t.SimEvents(), nil
 }
 
 // taConfig returns the technique configuration for a CP-Limit.
@@ -369,71 +373,15 @@ type Fig5Point struct {
 	UF float64
 }
 
-// fig5spec identifies one technique run of the Figure 5 grid.
-type fig5spec struct {
-	wi      int // workload index
-	scheme  string
-	cpLimit float64
-	cfg     core.Config
-}
-
 // Fig5 sweeps CP-Limit for every workload and scheme, like the paper's
 // headline figure. The paper's shape: DMA-TA-PL(2) > DMA-TA; savings
 // rise steeply to ~10% CP-Limit and then flatten; 6 groups lose to 2.
-// The grid — one baseline per workload plus one run per
-// (workload, scheme, CP-Limit) — executes on the suite's Runner and is
-// reassembled in sweep order.
+// The grid — one run per (workload, scheme, CP-Limit), each scored
+// against its workload's cached single-flight baseline — executes on
+// the suite's Runner and is reassembled in sweep order; `GridFig5`
+// names the same grid for sharded execution (see Coordinator).
 func (s *Suite) Fig5(ctx context.Context, cpLimits []float64, groups []int) ([]Fig5Point, error) {
-	ws, err := s.Workloads(ctx)
-	if err != nil {
-		return nil, err
-	}
-	windows := make([]sim.Duration, len(ws))
-	for i, tr := range ws {
-		windows[i] = tr.Duration() + 2*sim.Millisecond
-	}
-	bases, err := mapJobs(ctx, s.Runner, len(ws),
-		func(i int) string { return "fig5/baseline/" + ws[i].Name },
-		func(ctx context.Context, i int) (*core.Result, error) {
-			return s.run(ctx, core.Config{MeterWindow: windows[i]}, ws[i])
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	var specs []fig5spec
-	for wi := range ws {
-		for _, cp := range cpLimits {
-			specs = append(specs, fig5spec{wi, "dma-ta", cp, taConfig(cp, nil)})
-			for _, g := range groups {
-				specs = append(specs, fig5spec{wi, fmt.Sprintf("dma-ta-pl-%d", g), cp, taConfig(cp, plConfig(g))})
-			}
-		}
-	}
-	results, err := mapJobs(ctx, s.Runner, len(specs),
-		func(i int) string {
-			sp := specs[i]
-			return fmt.Sprintf("fig5/%s/%s/cp=%.2f", ws[sp.wi].Name, sp.scheme, sp.cpLimit)
-		},
-		func(ctx context.Context, i int) (*core.Result, error) {
-			sp := specs[i]
-			cfg := sp.cfg
-			cfg.MeterWindow = windows[sp.wi]
-			return s.run(ctx, cfg, ws[sp.wi])
-		})
-	if err != nil {
-		return nil, err
-	}
-
-	out := make([]Fig5Point, len(specs))
-	for i, sp := range specs {
-		out[i] = Fig5Point{
-			Workload: ws[sp.wi].Name, Scheme: sp.scheme, CPLimit: sp.cpLimit,
-			Savings: results[i].Report.Savings(bases[sp.wi].Report),
-			UF:      results[i].Report.UtilizationFactor,
-		}
-	}
-	return out, nil
+	return GridRun[Fig5Point](ctx, s, GridSpec{Name: GridFig5, CPLimits: cpLimits, Groups: groups})
 }
 
 // FormatFig5 renders the savings curves grouped by workload.
@@ -573,37 +521,7 @@ func sweepSchemeConfig(label string) core.Config {
 // generator makes duplicate generation bit-identical — and runs a
 // baseline/technique pair.
 func (s *Suite) Fig8(ctx context.Context, ratesPerMs []float64) ([]SweepPoint, error) {
-	type spec struct {
-		rate   float64
-		scheme int
-	}
-	var specs []spec
-	for _, rate := range ratesPerMs {
-		for si := range sweepSchemes {
-			specs = append(specs, spec{rate, si})
-		}
-	}
-	return mapJobs(ctx, s.Runner, len(specs),
-		func(i int) string {
-			return fmt.Sprintf("fig8/%s/rate=%g", sweepSchemes[specs[i].scheme], specs[i].rate)
-		},
-		func(ctx context.Context, i int) (SweepPoint, error) {
-			sp := specs[i]
-			cfg := synth.DefaultSt()
-			cfg.Duration = s.Duration
-			cfg.Seed = s.Seed + 1
-			cfg.RatePerMs = sp.rate
-			tr, err := synth.GenerateSt(cfg)
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			savings, err := s.runPair(ctx, core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			return SweepPoint{Workload: "Synthetic-St", Scheme: sweepSchemes[sp.scheme],
-				X: sp.rate, Savings: savings}, nil
-		})
+	return GridRun[SweepPoint](ctx, s, GridSpec{Name: GridFig8, RatesPerMs: ratesPerMs})
 }
 
 // Fig9 varies the number of processor accesses per DMA transfer in
@@ -611,78 +529,14 @@ func (s *Suite) Fig8(ctx context.Context, ratesPerMs []float64) ([]SweepPoint, e
 // cycles; OLTP-Db averages 233 accesses per transfer), one job per
 // (point, scheme).
 func (s *Suite) Fig9(ctx context.Context, perTransfer []int) ([]SweepPoint, error) {
-	type spec struct {
-		per    int
-		scheme int
-	}
-	var specs []spec
-	for _, per := range perTransfer {
-		for si := range sweepSchemes {
-			specs = append(specs, spec{per, si})
-		}
-	}
-	return mapJobs(ctx, s.Runner, len(specs),
-		func(i int) string {
-			return fmt.Sprintf("fig9/%s/per=%d", sweepSchemes[specs[i].scheme], specs[i].per)
-		},
-		func(ctx context.Context, i int) (SweepPoint, error) {
-			sp := specs[i]
-			cfg := synth.DefaultDb()
-			cfg.St.Duration = s.dbDuration()
-			cfg.St.Seed = s.Seed + 2
-			cfg.ProcRatePerMs = 0
-			cfg.ProcPerTransfer = sp.per
-			tr, err := synth.GenerateDb(cfg)
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			savings, err := s.runPair(ctx, core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			return SweepPoint{Workload: "Synthetic-Db", Scheme: sweepSchemes[sp.scheme],
-				X: float64(sp.per), Savings: savings}, nil
-		})
+	return GridRun[SweepPoint](ctx, s, GridSpec{Name: GridFig9, PerTransfer: perTransfer})
 }
 
 // Fig10 varies the I/O bus bandwidth with the memory rate fixed at
 // 3.2 GB/s (the paper sweeps 0.5, 1, 2 and 3 GB/s; savings shrink as
 // the ratio approaches 1), one job per (workload, bandwidth, scheme).
 func (s *Suite) Fig10(ctx context.Context, busBW []float64) ([]SweepPoint, error) {
-	type spec struct {
-		workload string
-		bw       float64
-		scheme   int
-	}
-	var specs []spec
-	for _, name := range []string{"OLTP-St", "Synthetic-St"} {
-		for _, bw := range busBW {
-			for si := range sweepSchemes {
-				specs = append(specs, spec{name, bw, si})
-			}
-		}
-	}
-	return mapJobs(ctx, s.Runner, len(specs),
-		func(i int) string {
-			sp := specs[i]
-			return fmt.Sprintf("fig10/%s/%s/bw=%g", sp.workload, sweepSchemes[sp.scheme], sp.bw)
-		},
-		func(ctx context.Context, i int) (SweepPoint, error) {
-			sp := specs[i]
-			tr, err := s.workload(sp.workload)
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			bc := bus.Config{Count: 3, Bandwidth: sp.bw}
-			tech := sweepSchemeConfig(sweepSchemes[sp.scheme])
-			tech.Buses = bc
-			savings, err := s.runPair(ctx, core.Config{Buses: bc}, tech, tr)
-			if err != nil {
-				return SweepPoint{}, err
-			}
-			return SweepPoint{Workload: sp.workload, Scheme: sweepSchemes[sp.scheme],
-				X: 3.2e9 / sp.bw, Savings: savings}, nil
-		})
+	return GridRun[SweepPoint](ctx, s, GridSpec{Name: GridFig10, BusBW: busBW})
 }
 
 // FormatSweep renders a sweep with a caption for the x-axis.

@@ -1,0 +1,402 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/core"
+	"dmamem/internal/sim"
+	"dmamem/internal/synth"
+)
+
+// SuiteSpec is the serializable shape of a Suite: everything a worker
+// process needs to reconstruct the exact experiment configuration.
+// Every field round-trips through JSON without loss, so a Suite built
+// from a spec produces bit-identical simulations in any process.
+type SuiteSpec struct {
+	// Duration of generated traces (sim.Duration, picoseconds).
+	Duration sim.Duration
+	// DbDuration for the denser database traces; zero means Duration.
+	DbDuration sim.Duration
+	// Seed for all generators.
+	Seed uint64
+	// HeapScheduler and PerEventFeeder mirror the Suite fields of the
+	// same names (engine knobs; results are bit-identical regardless).
+	HeapScheduler  bool
+	PerEventFeeder bool
+}
+
+// Spec returns the serializable configuration of the suite.
+func (s *Suite) Spec() SuiteSpec {
+	return SuiteSpec{
+		Duration:       s.Duration,
+		DbDuration:     s.DbDuration,
+		Seed:           s.Seed,
+		HeapScheduler:  s.HeapScheduler,
+		PerEventFeeder: s.PerEventFeeder,
+	}
+}
+
+// NewSuiteFromSpec builds a suite from a serialized spec. Workloads
+// and baselines are generated lazily and cached per process.
+func NewSuiteFromSpec(sp SuiteSpec) *Suite {
+	s := NewSuite(sp.Duration, sp.Seed)
+	s.DbDuration = sp.DbDuration
+	s.HeapScheduler = sp.HeapScheduler
+	s.PerEventFeeder = sp.PerEventFeeder
+	return s
+}
+
+// Grid names understood by GridSpec. Each identifies one family of
+// independent sweep points; the parameters of the spec select the
+// points.
+const (
+	// GridFig5 sweeps CP-Limit for every Table 2 workload and scheme
+	// (CPLimits x {dma-ta, dma-ta-pl-G for G in Groups}).
+	GridFig5 = "fig5"
+	// GridFig8 sweeps Synthetic-St arrival rate (RatesPerMs).
+	GridFig8 = "fig8"
+	// GridFig9 sweeps processor accesses per transfer (PerTransfer).
+	GridFig9 = "fig9"
+	// GridFig10 sweeps I/O bus bandwidth (BusBW) over Workloads.
+	GridFig10 = "fig10"
+	// GridNoop yields Points trivial results without running any
+	// simulation. It exists to measure the shard protocol itself:
+	// BenchmarkShardedSweep uses it to expose coordinator overhead per
+	// sweep point.
+	GridNoop = "noop"
+)
+
+// GridSpec names a grid of independent sweep points and its
+// parameters. A spec is pure data: the same spec resolved against
+// suites built from the same SuiteSpec enumerates the same points in
+// the same order in every process, which is what lets a coordinator
+// partition work by point index and reassemble results
+// deterministically.
+type GridSpec struct {
+	// Name selects the grid (GridFig5, GridFig8, ...).
+	Name string
+	// CPLimits are the CP-Limit sweep values (GridFig5).
+	CPLimits []float64 `json:",omitempty"`
+	// Groups are the DMA-TA-PL group counts swept next to plain DMA-TA
+	// (GridFig5).
+	Groups []int `json:",omitempty"`
+	// RatesPerMs are the arrival-rate sweep values (GridFig8).
+	RatesPerMs []float64 `json:",omitempty"`
+	// PerTransfer are the processor-accesses-per-transfer sweep values
+	// (GridFig9).
+	PerTransfer []int `json:",omitempty"`
+	// BusBW are the I/O bus bandwidths in bytes/s (GridFig10).
+	BusBW []float64 `json:",omitempty"`
+	// Workloads restricts GridFig10 to the named Table 2 workloads;
+	// empty means the paper's pair {OLTP-St, Synthetic-St}.
+	Workloads []string `json:",omitempty"`
+	// Points is the number of trivial points of GridNoop.
+	Points int `json:",omitempty"`
+}
+
+// resolvedGrid is the runnable form of a GridSpec: a point count,
+// stable per-point labels, and a runner. run returns the point value
+// (a JSON-serializable struct), the number of simulation events the
+// point dispatched (observability only), and an error.
+type resolvedGrid struct {
+	n     int
+	label func(i int) string
+	run   func(ctx context.Context, i int) (any, uint64, error)
+}
+
+// resolveGrid turns a spec into its runnable form. Resolution is
+// cheap and deterministic — no traces are generated until a point
+// runs — so coordinators resolve grids locally just to size and label
+// the partition.
+func (s *Suite) resolveGrid(gs GridSpec) (*resolvedGrid, error) {
+	switch gs.Name {
+	case GridFig5:
+		return s.fig5Grid(gs), nil
+	case GridFig8:
+		return s.fig8Grid(gs), nil
+	case GridFig9:
+		return s.fig9Grid(gs), nil
+	case GridFig10:
+		return s.fig10Grid(gs), nil
+	case GridNoop:
+		return &resolvedGrid{
+			n:     gs.Points,
+			label: func(i int) string { return fmt.Sprintf("noop/%d", i) },
+			run: func(ctx context.Context, i int) (any, uint64, error) {
+				return SweepPoint{Workload: "noop", Scheme: "noop", X: float64(i)}, 0, nil
+			},
+		}, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown grid %q", gs.Name)
+}
+
+// GridRun resolves and executes a grid in-process on the suite's
+// Runner and returns the points in grid order. The output is
+// byte-identical to a sharded run of the same spec at any shard count
+// (see Coordinator): both enumerate the same points and reassemble
+// them by index.
+func GridRun[T any](ctx context.Context, s *Suite, gs GridSpec) ([]T, error) {
+	g, err := s.resolveGrid(gs)
+	if err != nil {
+		return nil, err
+	}
+	vals, err := runGrid(ctx, s.Runner, g)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]T, len(vals))
+	for i, v := range vals {
+		p, ok := v.(T)
+		if !ok {
+			return nil, fmt.Errorf("experiments: grid %s point %d is %T, want %T", gs.Name, i, v, out[i])
+		}
+		out[i] = p
+	}
+	return out, nil
+}
+
+// runGrid fans the grid's points across the runner, each writing its
+// own slot, and returns the values in point order.
+func runGrid(ctx context.Context, r *Runner, g *resolvedGrid) ([]any, error) {
+	out := make([]any, g.n)
+	jobs := make([]Job, g.n)
+	for i := 0; i < g.n; i++ {
+		i := i
+		job := &jobs[i]
+		*job = Job{Label: g.label(i), Run: func(ctx context.Context) error {
+			v, events, err := g.run(ctx, i)
+			if err != nil {
+				return err
+			}
+			job.Events = events
+			out[i] = v
+			return nil
+		}}
+	}
+	if err := r.Do(ctx, jobs); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// baseEntry is the single-flight slot for one workload's baseline
+// run, mirroring the workload cache: sweeps over the same workload
+// share one baseline simulation per process, and because the baseline
+// is a pure function of (config, trace) every process computes the
+// same report bit for bit.
+type baseEntry struct {
+	once sync.Once
+	res  *core.Result
+	err  error
+}
+
+// baseline returns the cached baseline result for a workload,
+// simulating it on first use with the suite's standard metering
+// window.
+func (s *Suite) baseline(ctx context.Context, name string) (*core.Result, error) {
+	s.mu.Lock()
+	if s.baselines == nil {
+		s.baselines = map[string]*baseEntry{}
+	}
+	e, ok := s.baselines[name]
+	if !ok {
+		e = &baseEntry{}
+		s.baselines[name] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() {
+		tr, err := s.workload(name)
+		if err != nil {
+			e.err = err
+			return
+		}
+		start := time.Now()
+		e.res, e.err = s.run(ctx, core.Config{MeterWindow: tr.Duration() + 2*sim.Millisecond}, tr)
+		if e.err == nil && s.Runner != nil && s.Runner.Timings != nil {
+			s.Runner.Timings.AddSim("baseline/"+name, time.Since(start), e.res.SimEvents())
+		}
+	})
+	return e.res, e.err
+}
+
+// fig5Grid enumerates the Figure 5 points: for every Table 2 workload
+// and CP-Limit, plain DMA-TA followed by DMA-TA-PL at each group
+// count. Each point runs the technique against the workload's cached
+// baseline.
+func (s *Suite) fig5Grid(gs GridSpec) *resolvedGrid {
+	type spec struct {
+		wi      int
+		scheme  string
+		cpLimit float64
+		groups  int // 0 = plain DMA-TA
+	}
+	var specs []spec
+	for wi := range workloadNames {
+		for _, cp := range gs.CPLimits {
+			specs = append(specs, spec{wi, "dma-ta", cp, 0})
+			for _, g := range gs.Groups {
+				specs = append(specs, spec{wi, fmt.Sprintf("dma-ta-pl-%d", g), cp, g})
+			}
+		}
+	}
+	return &resolvedGrid{
+		n: len(specs),
+		label: func(i int) string {
+			sp := specs[i]
+			return fmt.Sprintf("fig5/%s/%s/cp=%.2f", workloadNames[sp.wi], sp.scheme, sp.cpLimit)
+		},
+		run: func(ctx context.Context, i int) (any, uint64, error) {
+			sp := specs[i]
+			tr, err := s.workload(workloadNames[sp.wi])
+			if err != nil {
+				return nil, 0, err
+			}
+			base, err := s.baseline(ctx, workloadNames[sp.wi])
+			if err != nil {
+				return nil, 0, err
+			}
+			cfg := taConfig(sp.cpLimit, nil)
+			if sp.groups > 0 {
+				cfg = taConfig(sp.cpLimit, plConfig(sp.groups))
+			}
+			cfg.MeterWindow = tr.Duration() + 2*sim.Millisecond
+			res, err := s.run(ctx, cfg, tr)
+			if err != nil {
+				return nil, 0, err
+			}
+			return Fig5Point{
+				Workload: tr.Name, Scheme: sp.scheme, CPLimit: sp.cpLimit,
+				Savings: res.Report.Savings(base.Report),
+				UF:      res.Report.UtilizationFactor,
+			}, res.SimEvents(), nil
+		},
+	}
+}
+
+// fig8Grid enumerates the workload-intensity sweep: one point per
+// (arrival rate, scheme), each regenerating its own trace (the
+// deterministic generator makes duplicate generation bit-identical)
+// and running a baseline/technique pair.
+func (s *Suite) fig8Grid(gs GridSpec) *resolvedGrid {
+	type spec struct {
+		rate   float64
+		scheme int
+	}
+	var specs []spec
+	for _, rate := range gs.RatesPerMs {
+		for si := range sweepSchemes {
+			specs = append(specs, spec{rate, si})
+		}
+	}
+	return &resolvedGrid{
+		n: len(specs),
+		label: func(i int) string {
+			return fmt.Sprintf("fig8/%s/rate=%g", sweepSchemes[specs[i].scheme], specs[i].rate)
+		},
+		run: func(ctx context.Context, i int) (any, uint64, error) {
+			sp := specs[i]
+			cfg := synth.DefaultSt()
+			cfg.Duration = s.Duration
+			cfg.Seed = s.Seed + 1
+			cfg.RatePerMs = sp.rate
+			tr, err := synth.GenerateSt(cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			savings, events, err := s.runPair(ctx, core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
+			if err != nil {
+				return nil, 0, err
+			}
+			return SweepPoint{Workload: "Synthetic-St", Scheme: sweepSchemes[sp.scheme],
+				X: sp.rate, Savings: savings}, events, nil
+		},
+	}
+}
+
+// fig9Grid enumerates the processor-interference sweep: one point per
+// (accesses-per-transfer, scheme) on Synthetic-Db.
+func (s *Suite) fig9Grid(gs GridSpec) *resolvedGrid {
+	type spec struct {
+		per    int
+		scheme int
+	}
+	var specs []spec
+	for _, per := range gs.PerTransfer {
+		for si := range sweepSchemes {
+			specs = append(specs, spec{per, si})
+		}
+	}
+	return &resolvedGrid{
+		n: len(specs),
+		label: func(i int) string {
+			return fmt.Sprintf("fig9/%s/per=%d", sweepSchemes[specs[i].scheme], specs[i].per)
+		},
+		run: func(ctx context.Context, i int) (any, uint64, error) {
+			sp := specs[i]
+			cfg := synth.DefaultDb()
+			cfg.St.Duration = s.dbDuration()
+			cfg.St.Seed = s.Seed + 2
+			cfg.ProcRatePerMs = 0
+			cfg.ProcPerTransfer = sp.per
+			tr, err := synth.GenerateDb(cfg)
+			if err != nil {
+				return nil, 0, err
+			}
+			savings, events, err := s.runPair(ctx, core.Config{}, sweepSchemeConfig(sweepSchemes[sp.scheme]), tr)
+			if err != nil {
+				return nil, 0, err
+			}
+			return SweepPoint{Workload: "Synthetic-Db", Scheme: sweepSchemes[sp.scheme],
+				X: float64(sp.per), Savings: savings}, events, nil
+		},
+	}
+}
+
+// fig10Grid enumerates the bandwidth-ratio sweep: one point per
+// (workload, bus bandwidth, scheme), memory rate fixed at 3.2 GB/s.
+func (s *Suite) fig10Grid(gs GridSpec) *resolvedGrid {
+	workloads := gs.Workloads
+	if len(workloads) == 0 {
+		workloads = []string{"OLTP-St", "Synthetic-St"}
+	}
+	type spec struct {
+		workload string
+		bw       float64
+		scheme   int
+	}
+	var specs []spec
+	for _, name := range workloads {
+		for _, bw := range gs.BusBW {
+			for si := range sweepSchemes {
+				specs = append(specs, spec{name, bw, si})
+			}
+		}
+	}
+	return &resolvedGrid{
+		n: len(specs),
+		label: func(i int) string {
+			sp := specs[i]
+			return fmt.Sprintf("fig10/%s/%s/bw=%g", sp.workload, sweepSchemes[sp.scheme], sp.bw)
+		},
+		run: func(ctx context.Context, i int) (any, uint64, error) {
+			sp := specs[i]
+			tr, err := s.workload(sp.workload)
+			if err != nil {
+				return nil, 0, err
+			}
+			bc := bus.Config{Count: 3, Bandwidth: sp.bw}
+			tech := sweepSchemeConfig(sweepSchemes[sp.scheme])
+			tech.Buses = bc
+			savings, events, err := s.runPair(ctx, core.Config{Buses: bc}, tech, tr)
+			if err != nil {
+				return nil, 0, err
+			}
+			return SweepPoint{Workload: sp.workload, Scheme: sweepSchemes[sp.scheme],
+				X: 3.2e9 / sp.bw, Savings: savings}, events, nil
+		},
+	}
+}

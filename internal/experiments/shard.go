@@ -1,0 +1,245 @@
+// Shard worker protocol: the wire format and worker loop of the
+// process-sharded sweep executor.
+//
+// A worker session is one request/response exchange over a byte
+// stream (a subprocess's stdin/stdout pipes, or one TCP connection):
+//
+//	coordinator -> worker   ShardRequest   (one frame)
+//	worker -> coordinator   ShardResponse  (one frame per finished
+//	                        point, in completion order, then a final
+//	                        Done frame carrying the worker's timings)
+//
+// Every frame is a 4-byte big-endian length prefix followed by that
+// many bytes of JSON. Results are keyed by global grid point index,
+// so the coordinator reassembles them in deterministic sweep order no
+// matter how execution interleaved across workers; a worker that dies
+// mid-slice simply never sends Done, and the coordinator retries the
+// whole slice on a fresh worker (simulations are deterministic, so a
+// retried slice reproduces the lost points bit for bit).
+package experiments
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"dmamem/internal/metrics"
+)
+
+// shardProtoVersion guards against mixed-version fleets: a worker
+// rejects requests whose version it does not speak instead of
+// producing silently different results.
+const shardProtoVersion = 1
+
+// maxFrame bounds one frame's payload; larger prefixes are treated as
+// stream corruption rather than honored with a giant allocation.
+const maxFrame = 64 << 20
+
+// errMalformed tags protocol-level corruption (bad length prefix,
+// unparseable JSON, out-of-slice point index). The coordinator treats
+// it as a hard error — a worker that cannot speak the protocol will
+// not be fixed by a retry — and wraps it with the shard identity.
+var errMalformed = errors.New("malformed shard response")
+
+// ShardRequest is the coordinator's single frame to a worker: the
+// full experiment configuration plus the slice of grid point indices
+// this worker owns.
+type ShardRequest struct {
+	// Version of the protocol (shardProtoVersion).
+	Version int
+	// Suite reconstructs the experiment configuration.
+	Suite SuiteSpec
+	// Grid names the sweep and its parameters.
+	Grid GridSpec
+	// Points are the global grid indices of this worker's slice.
+	Points []int
+	// Parallel is the worker-local goroutine count for its slice
+	// (<= 0 means 1).
+	Parallel int
+}
+
+// ShardResponse is one worker frame: either a finished point
+// (Index + Point), a fatal worker error (Err), or the final Done
+// frame with the worker's per-job timings.
+type ShardResponse struct {
+	// Index is the global grid index of the finished point.
+	Index int
+	// Point is the JSON encoding of the point value.
+	Point json.RawMessage `json:",omitempty"`
+	// Err, when non-empty, reports a fatal worker-side error; no
+	// further frames follow.
+	Err string `json:",omitempty"`
+	// Done marks the final frame of a successful slice.
+	Done bool `json:",omitempty"`
+	// Timings are the worker's per-job wall-clock records (Done frame
+	// only); the coordinator folds them into its Timings via Merge.
+	Timings []metrics.JobTiming `json:",omitempty"`
+}
+
+// writeFrame marshals v and writes it as one length-prefixed frame.
+func writeFrame(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(b)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = w.Write(b)
+	return err
+}
+
+// readFrameBytes reads one length-prefixed frame payload. IO errors
+// (including a stream that ends mid-frame) pass through for the
+// caller to classify; an absurd length prefix is errMalformed.
+func readFrameBytes(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFrame {
+		return nil, fmt.Errorf("%w: frame length %d", errMalformed, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// ServeShard runs one worker session: read a ShardRequest from r,
+// execute its slice of the grid on a local worker pool, and stream
+// one response frame per finished point to w, ending with a Done
+// frame. Both dmamem-bench and dmamem-sim expose it behind
+// -shard-worker (stdin/stdout) and -shard-listen (TCP).
+func ServeShard(ctx context.Context, r io.Reader, w io.Writer) error {
+	payload, err := readFrameBytes(r)
+	if err != nil {
+		return fmt.Errorf("experiments: shard worker: read request: %w", err)
+	}
+	var req ShardRequest
+	if err := json.Unmarshal(payload, &req); err != nil {
+		return failShard(w, fmt.Errorf("experiments: shard worker: decode request: %w", err))
+	}
+	if req.Version != shardProtoVersion {
+		return failShard(w, fmt.Errorf("experiments: shard worker: protocol version %d, want %d", req.Version, shardProtoVersion))
+	}
+	s := NewSuiteFromSpec(req.Suite)
+	g, err := s.resolveGrid(req.Grid)
+	if err != nil {
+		return failShard(w, err)
+	}
+	for _, idx := range req.Points {
+		if idx < 0 || idx >= g.n {
+			return failShard(w, fmt.Errorf("experiments: shard worker: point %d outside grid %s (%d points)", idx, req.Grid.Name, g.n))
+		}
+	}
+	par := req.Parallel
+	if par < 1 {
+		par = 1
+	}
+	tim := &metrics.Timings{}
+	s.Runner = &Runner{Parallel: par, Timings: tim}
+
+	// Every job streams its result as soon as it finishes; the write
+	// mutex keeps frames whole. A failed write (coordinator gone,
+	// pipe closed) cancels the remaining jobs through the runner.
+	var (
+		wmu  sync.Mutex
+		werr error
+	)
+	jobs := make([]Job, len(req.Points))
+	for k, idx := range req.Points {
+		idx := idx
+		job := &jobs[k]
+		*job = Job{Label: g.label(idx), Run: func(ctx context.Context) error {
+			v, events, err := g.run(ctx, idx)
+			if err != nil {
+				return err
+			}
+			job.Events = events
+			b, err := json.Marshal(v)
+			if err != nil {
+				return err
+			}
+			wmu.Lock()
+			defer wmu.Unlock()
+			if werr != nil {
+				return werr
+			}
+			if err := writeFrame(w, ShardResponse{Index: idx, Point: b}); err != nil {
+				werr = err
+				return err
+			}
+			return nil
+		}}
+	}
+	if err := s.Runner.Do(ctx, jobs); err != nil {
+		wmu.Lock()
+		broken := werr != nil
+		wmu.Unlock()
+		if broken {
+			return err // the stream is gone; no point reporting on it
+		}
+		return failShard(w, err)
+	}
+	return writeFrame(w, ShardResponse{Done: true, Timings: tim.Jobs()})
+}
+
+// failShard reports a fatal worker error on the stream (best effort)
+// and returns it.
+func failShard(w io.Writer, err error) error {
+	_ = writeFrame(w, ShardResponse{Err: err.Error()})
+	return err
+}
+
+// ServeShards accepts worker sessions on ln until ctx is canceled,
+// serving each connection as one ServeShard session. Session errors
+// are logged to logw (when non-nil) and do not stop the listener: a
+// coordinator that lost a slice retries it on a fresh connection.
+func ServeShards(ctx context.Context, ln net.Listener, logw io.Writer) error {
+	defer context.AfterFunc(ctx, func() { ln.Close() })()
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer conn.Close()
+			defer context.AfterFunc(ctx, func() { conn.Close() })()
+			if err := ServeShard(ctx, conn, conn); err != nil && logw != nil {
+				fmt.Fprintf(logw, "shard session %s: %v\n", conn.RemoteAddr(), err)
+			}
+		}()
+	}
+}
+
+// ListenAndServeShards listens on the TCP address and serves shard
+// sessions until ctx is canceled — the worker side of a multi-machine
+// sweep (`dmamem-bench -shard-listen :9000` on each box, the
+// coordinator pointing at them with -shard-addrs).
+func ListenAndServeShards(ctx context.Context, addr string, logw io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if logw != nil {
+		fmt.Fprintf(logw, "serving shard sessions on %s\n", ln.Addr())
+	}
+	return ServeShards(ctx, ln, logw)
+}

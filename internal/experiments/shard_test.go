@@ -1,0 +1,419 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dmamem/internal/metrics"
+	"dmamem/internal/sim"
+)
+
+// TestMain lets the test binary double as a shard worker process:
+// the real-process tests (and the sharded benchmark in the root
+// package) re-exec the binary with this variable set, turning it into
+// a ServeShard loop on stdin/stdout.
+func TestMain(m *testing.M) {
+	if os.Getenv("DMAMEM_SHARD_WORKER") == "1" {
+		if err := ServeShard(context.Background(), os.Stdin, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// pipeTransport runs ServeShard in-process over a net.Pipe — the
+// whole protocol without subprocess cost.
+type pipeTransport struct {
+	net.Conn
+}
+
+func (pipeTransport) Name() string { return "pipe worker" }
+
+func pipeDial(t *testing.T) func(ctx context.Context, shard, attempt int) (shardTransport, error) {
+	return func(ctx context.Context, shard, attempt int) (shardTransport, error) {
+		client, server := net.Pipe()
+		go func() {
+			defer server.Close()
+			if err := ServeShard(ctx, server, server); err != nil && ctx.Err() == nil {
+				t.Logf("pipe worker: %v", err)
+			}
+		}()
+		return pipeTransport{client}, nil
+	}
+}
+
+func shardSpec() SuiteSpec {
+	return SuiteSpec{Duration: 10 * sim.Millisecond, Seed: 1}
+}
+
+func fig8Spec() GridSpec {
+	return GridSpec{Name: GridFig8, RatesPerMs: []float64{25, 100}}
+}
+
+// TestShardedGridDeterminism is the package-level form of the PR's
+// headline contract: the sharded executor's decoded points — and
+// therefore any rendering of them — equal the in-process runner's at
+// shard counts 1, 2, and 4.
+func TestShardedGridDeterminism(t *testing.T) {
+	want, err := GridRun[SweepPoint](ctx, NewSuiteFromSpec(shardSpec()), fig8Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantText := FormatSweep("t", "x", want)
+	for _, shards := range []int{1, 2, 4} {
+		c := &Coordinator{Shards: shards, Timings: &metrics.Timings{}, dial: pipeDial(t)}
+		got, err := ShardedGrid[SweepPoint](ctx, c, shardSpec(), fig8Spec())
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: points differ\ngot  %+v\nwant %+v", shards, got, want)
+		}
+		if gotText := FormatSweep("t", "x", got); gotText != wantText {
+			t.Errorf("shards=%d: rendered output differs\ngot:\n%s\nwant:\n%s", shards, gotText, wantText)
+		}
+		if c.Timings.Count() == 0 {
+			t.Errorf("shards=%d: no worker timings merged", shards)
+		}
+	}
+}
+
+// TestShardCrashMidSliceRetried kills the first worker of shard 0
+// after it has delivered one point; the retried slice must leave the
+// reassembled results byte-identical to the in-process run.
+func TestShardCrashMidSliceRetried(t *testing.T) {
+	want, err := GridRun[SweepPoint](ctx, NewSuiteFromSpec(shardSpec()), fig8Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crashes atomic.Int32
+	normal := pipeDial(t)
+	dial := func(ctx context.Context, shard, attempt int) (shardTransport, error) {
+		if shard != 0 || attempt != 0 {
+			return normal(ctx, shard, attempt)
+		}
+		crashes.Add(1)
+		client, server := net.Pipe()
+		go func() {
+			// A worker that dies mid-slice: request in, one real point
+			// out, then the process is gone — no Done frame.
+			defer server.Close()
+			payload, err := readFrameBytes(server)
+			if err != nil {
+				return
+			}
+			var req ShardRequest
+			if err := json.Unmarshal(payload, &req); err != nil {
+				return
+			}
+			s := NewSuiteFromSpec(req.Suite)
+			g, err := s.resolveGrid(req.Grid)
+			if err != nil {
+				return
+			}
+			v, _, err := g.run(ctx, req.Points[0])
+			if err != nil {
+				return
+			}
+			b, _ := json.Marshal(v)
+			writeFrame(server, ShardResponse{Index: req.Points[0], Point: b})
+		}()
+		return pipeTransport{client}, nil
+	}
+	c := &Coordinator{Shards: 2, dial: dial}
+	got, err := ShardedGrid[SweepPoint](ctx, c, shardSpec(), fig8Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crashes.Load() != 1 {
+		t.Fatalf("crash transport used %d times, want 1", crashes.Load())
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("points after crash+retry differ\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestShardCancellation cancels the sweep while every worker is
+// wedged; Run must tear the transports down and return promptly.
+func TestShardCancellation(t *testing.T) {
+	var closed atomic.Int32
+	dial := func(ctx context.Context, shard, attempt int) (shardTransport, error) {
+		return &hungTransport{closedCount: &closed, done: make(chan struct{})}, nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	c := &Coordinator{Shards: 2, dial: dial}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.Run(cctx, shardSpec(), fig8Spec())
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if closed.Load() == 0 {
+		t.Error("no transport was closed on cancellation")
+	}
+}
+
+// hungTransport swallows the request and never responds — a wedged
+// worker. Close unblocks pending reads.
+type hungTransport struct {
+	closedCount *atomic.Int32
+	done        chan struct{}
+	once        sync.Once
+}
+
+func (h *hungTransport) Read(b []byte) (int, error)  { <-h.done; return 0, io.EOF }
+func (h *hungTransport) Write(b []byte) (int, error) { return len(b), nil }
+func (h *hungTransport) Name() string                { return "hung worker" }
+func (h *hungTransport) Close() error {
+	h.once.Do(func() {
+		if h.closedCount != nil {
+			h.closedCount.Add(1)
+		}
+		close(h.done)
+	})
+	return nil
+}
+
+// cannedTransport replays fixed response bytes, then EOF.
+type cannedTransport struct{ r *bytes.Reader }
+
+func (c *cannedTransport) Read(b []byte) (int, error)  { return c.r.Read(b) }
+func (c *cannedTransport) Write(b []byte) (int, error) { return len(b), nil }
+func (c *cannedTransport) Close() error                { return nil }
+func (c *cannedTransport) Name() string                { return "canned worker" }
+
+func canned(t *testing.T, frames ...any) *cannedTransport {
+	var buf bytes.Buffer
+	for _, f := range frames {
+		if raw, ok := f.([]byte); ok {
+			buf.Write(raw)
+			continue
+		}
+		if err := writeFrame(&buf, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return &cannedTransport{r: bytes.NewReader(buf.Bytes())}
+}
+
+// TestShardMalformedResponse feeds the coordinator protocol garbage;
+// each case must fail hard (no retry) with an error naming the shard.
+func TestShardMalformedResponse(t *testing.T) {
+	garbageFrame := []byte{0, 0, 0, 2, '{', 'x'} // framed, but not JSON
+	hugeFrame := []byte{0xff, 0xff, 0xff, 0xff}  // 4 GiB length prefix
+	pt, _ := json.Marshal(SweepPoint{})
+	cases := []struct {
+		name   string
+		frames []any
+		want   string
+	}{
+		{"not json", []any{garbageFrame}, "malformed"},
+		{"huge frame", []any{hugeFrame}, "malformed"},
+		{"point outside slice", []any{ShardResponse{Index: 999, Point: pt}}, "outside slice"},
+		{"duplicate point", []any{ShardResponse{Index: 0, Point: pt}, ShardResponse{Index: 0, Point: pt}}, "duplicate point"},
+		{"empty point", []any{ShardResponse{Index: 0}}, "no payload"},
+		{"done too early", []any{ShardResponse{Done: true}}, "Done after 0 of"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var attempts atomic.Int32
+			dial := func(ctx context.Context, shard, attempt int) (shardTransport, error) {
+				attempts.Add(1)
+				return canned(t, tc.frames...), nil
+			}
+			c := &Coordinator{Shards: 1, dial: dial}
+			_, err := c.Run(ctx, shardSpec(), fig8Spec())
+			if err == nil {
+				t.Fatal("Run succeeded on malformed response")
+			}
+			if want := "shard 0/1"; !contains(err.Error(), want) {
+				t.Errorf("error %q does not name the shard (%q)", err, want)
+			}
+			if !contains(err.Error(), tc.want) {
+				t.Errorf("error %q missing %q", err, tc.want)
+			}
+			if attempts.Load() != 1 {
+				t.Errorf("%d attempts, want 1 (malformed responses must not be retried)", attempts.Load())
+			}
+		})
+	}
+}
+
+// TestShardWorkerErrorNotRetried: an error the worker itself reports
+// is a result, not a transport failure — retrying cannot change it.
+func TestShardWorkerErrorNotRetried(t *testing.T) {
+	var attempts atomic.Int32
+	dial := func(ctx context.Context, shard, attempt int) (shardTransport, error) {
+		attempts.Add(1)
+		return canned(t, ShardResponse{Err: "boom"}), nil
+	}
+	c := &Coordinator{Shards: 1, dial: dial}
+	_, err := c.Run(ctx, shardSpec(), fig8Spec())
+	if err == nil || !contains(err.Error(), "worker error: boom") {
+		t.Fatalf("err = %v, want worker error: boom", err)
+	}
+	if attempts.Load() != 1 {
+		t.Errorf("%d attempts, want 1", attempts.Load())
+	}
+}
+
+// TestShardTimeoutRetried: a worker that never answers trips the
+// per-attempt timeout, and the slice succeeds on a fresh worker.
+func TestShardTimeoutRetried(t *testing.T) {
+	var attempts atomic.Int32
+	normal := pipeDial(t)
+	dial := func(ctx context.Context, shard, attempt int) (shardTransport, error) {
+		if attempts.Add(1) == 1 {
+			return &hungTransport{done: make(chan struct{})}, nil
+		}
+		return normal(ctx, shard, attempt)
+	}
+	c := &Coordinator{Shards: 1, Timeout: 100 * time.Millisecond, dial: dial}
+	got, err := ShardedGrid[SweepPoint](ctx, c, shardSpec(), GridSpec{Name: GridNoop, Points: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if attempts.Load() != 2 {
+		t.Errorf("%d attempts, want 2 (timeout then success)", attempts.Load())
+	}
+	if len(got) != 3 || got[2].X != 2 {
+		t.Errorf("points = %+v", got)
+	}
+}
+
+// TestShardRetryBudgetExhausted: a slice that keeps dying transports
+// eventually fails with the shard named in the error.
+func TestShardRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int32
+	dial := func(ctx context.Context, shard, attempt int) (shardTransport, error) {
+		attempts.Add(1)
+		return canned(t), nil // immediate EOF: worker died on arrival
+	}
+	c := &Coordinator{Shards: 1, Retries: 1, dial: dial}
+	_, err := c.Run(ctx, shardSpec(), GridSpec{Name: GridNoop, Points: 2})
+	if err == nil {
+		t.Fatal("Run succeeded with workers that always die")
+	}
+	if !contains(err.Error(), "shard 0/1") {
+		t.Errorf("error %q does not name the shard", err)
+	}
+	if attempts.Load() != 2 {
+		t.Errorf("%d attempts, want 2 (initial + 1 retry)", attempts.Load())
+	}
+}
+
+// TestShardProtocolVersion: a worker rejects requests from a
+// different protocol generation instead of guessing.
+func TestShardProtocolVersion(t *testing.T) {
+	client, server := net.Pipe()
+	defer client.Close()
+	go func() {
+		defer server.Close()
+		ServeShard(ctx, server, server)
+	}()
+	if err := writeFrame(client, ShardRequest{Version: 99}); err != nil {
+		t.Fatal(err)
+	}
+	payload, err := readFrameBytes(client)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp ShardResponse
+	if err := json.Unmarshal(payload, &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !contains(resp.Err, "protocol version 99") {
+		t.Errorf("worker response = %+v, want protocol version error", resp)
+	}
+}
+
+// TestShardTCPTransport runs a sharded sweep against a live TCP
+// worker pool (ServeShards on a loopback listener).
+func TestShardTCPTransport(t *testing.T) {
+	want, err := GridRun[SweepPoint](ctx, NewSuiteFromSpec(shardSpec()), fig8Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ServeShards(sctx, ln, nil)
+	}()
+	c := &Coordinator{Shards: 2, Addrs: []string{ln.Addr().String()}}
+	got, err := ShardedGrid[SweepPoint](ctx, c, shardSpec(), fig8Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TCP-sharded points differ\ngot  %+v\nwant %+v", got, want)
+	}
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ServeShards did not stop on cancellation")
+	}
+}
+
+// TestShardRealProcesses re-execs the test binary as worker
+// subprocesses (see TestMain) — the full production transport,
+// process spawn and teardown included.
+func TestShardRealProcesses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GridRun[SweepPoint](ctx, NewSuiteFromSpec(shardSpec()), fig8Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Coordinator{
+		Shards:        2,
+		WorkerCommand: []string{exe},
+		WorkerEnv:     []string{"DMAMEM_SHARD_WORKER=1"},
+		Timings:       &metrics.Timings{},
+	}
+	got, err := ShardedGrid[SweepPoint](ctx, c, shardSpec(), fig8Spec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("process-sharded points differ\ngot  %+v\nwant %+v", got, want)
+	}
+	if c.Timings.Count() == 0 {
+		t.Error("no worker timings merged from subprocesses")
+	}
+}
+
+func contains(s, sub string) bool { return bytes.Contains([]byte(s), []byte(sub)) }

@@ -48,6 +48,12 @@ type Config struct {
 	// MinHotCount is the popularity floor: pages with fewer aged
 	// references never qualify for a hot group. Zero means 1.
 	MinHotCount uint32
+	// FullScan forces the original full-page reference scan at every
+	// rebalance instead of the adaptive dirty-set scan that sorts only
+	// pages with live counts and skips clean chips. The two paths make
+	// identical move decisions (the cross-check test holds them to it);
+	// FullScan is the O(pages log pages) reference implementation.
+	FullScan bool
 }
 
 // DefaultConfig returns the paper's defaults.
@@ -84,11 +90,27 @@ type Manager struct {
 	// last rebalance (0 = hottest, Groups-1 = cold).
 	groupOfChip []int
 
+	// Adaptive dirty-set accounting. tracked[p] says page p sits in
+	// exactly one of the live lists; counts[p] > 0 implies tracked[p].
+	// live[c] holds the tracked pages resident on chip c as of the last
+	// rebalance (plus pages first observed on c since), so a chip with
+	// an empty list held no popular page all epoch and the rebalance
+	// scan skips it outright. Lists are rebuilt from current locations
+	// each rebalance, which keeps every list within its PagesPerChip
+	// capacity — Observe never reallocates.
+	tracked     []bool
+	live        [][]int32
+	liveScratch []int32
+
 	// Costs and statistics.
 	Rebalances       int64
 	MigratedPages    int64
 	MigrationEnergyJ float64
 	SkippedBusy      int64
+	// ScannedChips counts chips whose live lists were visited across
+	// all rebalances; Rebalances*NumChips minus it is how many chip
+	// scans the dirty-set accounting skipped.
+	ScannedChips int64
 }
 
 // New returns a manager with the interleaved baseline layout.
@@ -111,6 +133,12 @@ func New(geo memsys.Geometry, cfg Config) (*Manager, error) {
 		loc:         make([]uint16, geo.TotalPages()),
 		counts:      make([]uint32, geo.TotalPages()),
 		groupOfChip: make([]int, geo.NumChips),
+		tracked:     make([]bool, geo.TotalPages()),
+		live:        make([][]int32, geo.NumChips),
+		liveScratch: make([]int32, 0, geo.TotalPages()),
+	}
+	for c := range m.live {
+		m.live[c] = make([]int32, 0, geo.PagesPerChip())
 	}
 	for p := range m.loc {
 		m.loc[p] = uint16(p % geo.NumChips)
@@ -130,10 +158,17 @@ func (m *Manager) GroupOfChip(chip int) int { return m.groupOfChip[chip] }
 
 // Observe counts one DMA-memory reference burst to a page. The
 // controller calls it once per page per transfer, matching the paper's
-// "DMA reference counts".
+// "DMA reference counts". A page entering the live set is added to its
+// chip's list, which is what lets Rebalance skip chips no popular page
+// touched; the append stays within the list's preallocated capacity,
+// so Observe never allocates.
 func (m *Manager) Observe(p memsys.PageID) {
 	if m.counts[p] < 1<<31 {
 		m.counts[p]++
+	}
+	if !m.tracked[p] {
+		m.tracked[p] = true
+		m.live[m.loc[p]] = append(m.live[m.loc[p]], int32(p))
 	}
 }
 
@@ -148,6 +183,7 @@ func (m *Manager) ResetCosts() {
 	m.MigrationEnergyJ = 0
 	m.Rebalances = 0
 	m.SkippedBusy = 0
+	m.ScannedChips = 0
 }
 
 // groupSizes splits hotChips into the exponential hot-group sizes plus
@@ -176,33 +212,98 @@ func (m *Manager) groupSizes(hotChips int) []int {
 	return append(sizes, cold)
 }
 
-// Rebalance recomputes the layout from the current counters and
-// migrates misplaced pages, skipping pages for which busy returns true
-// (in-flight DMA targets). It returns the number of pages moved and
-// then ages the counters.
-func (m *Manager) Rebalance(busy func(memsys.PageID) bool) int {
-	m.Rebalances++
-	total := uint64(0)
-	for _, c := range m.counts {
-		total += uint64(c)
+// gatherLive drains the per-chip live lists into one slice of pages
+// with nonzero counts, dropping pages whose counts aged to zero.
+// Chips with empty lists — no popular page all epoch — are skipped
+// without being read, which is the adaptive scan's whole point: work
+// scales with the live set, not the page population. The lists are
+// left empty for rebuildLive to repopulate from post-move locations.
+func (m *Manager) gatherLive() []int32 {
+	out := m.liveScratch[:0]
+	for c := range m.live {
+		if len(m.live[c]) == 0 {
+			continue
+		}
+		m.ScannedChips++
+		for _, p := range m.live[c] {
+			if m.counts[p] == 0 {
+				m.tracked[p] = false
+				continue
+			}
+			out = append(out, p)
+		}
+		m.live[c] = m.live[c][:0]
 	}
-	if total == 0 {
-		m.age()
-		return 0
-	}
+	m.liveScratch = out
+	return out
+}
 
-	// Order pages by popularity (ties by page ID for determinism).
+// rebuildLive reindexes the live pages by their current (post-move)
+// chip. Each chip's list then holds only actual residents, so the
+// per-chip capacity bounds future Observe appends.
+func (m *Manager) rebuildLive(liveOrder []int32) {
+	for _, p := range liveOrder {
+		m.live[m.loc[p]] = append(m.live[m.loc[p]], p)
+	}
+}
+
+// fullOrder sorts every page by popularity (ties by page ID) and
+// returns the prefix with nonzero counts — the reference scan the
+// adaptive path is checked against. The zero-count tail it discards is
+// reconstructed on demand by coldScan, which is how both paths share
+// one executeMoves.
+func (m *Manager) fullOrder() []int32 {
 	order := make([]int32, len(m.counts))
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
-		if m.counts[a] != m.counts[b] {
-			return m.counts[a] > m.counts[b]
+	sortByPopularity(order, m.counts)
+	n := len(order)
+	for n > 0 && m.counts[order[n-1]] == 0 {
+		n--
+	}
+	return order[:n]
+}
+
+// sortByPopularity orders pages by count descending, page ID
+// ascending — the total order every layout decision derives from.
+func sortByPopularity(pages []int32, counts []uint32) {
+	sort.Slice(pages, func(i, j int) bool {
+		a, b := pages[i], pages[j]
+		if counts[a] != counts[b] {
+			return counts[a] > counts[b]
 		}
 		return a < b
 	})
+}
+
+// Rebalance recomputes the layout from the current counters and
+// migrates misplaced pages, skipping pages for which busy returns true
+// (in-flight DMA targets). It returns the number of pages moved and
+// then ages the counters.
+//
+// By default only the live set — pages referenced recently enough to
+// hold a nonzero aged count — is gathered and sorted, and chips with
+// no live page are skipped entirely. Pages outside the live set can
+// neither enter the hot region (the popularity floor is at least 1)
+// nor sort anywhere but the tail of the reference order, so the
+// decisions are identical to Config.FullScan's full sort; the
+// cross-check test compares the two move for move.
+func (m *Manager) Rebalance(busy func(memsys.PageID) bool) int {
+	m.Rebalances++
+	liveOrder := m.gatherLive()
+	total := uint64(0)
+	for _, p := range liveOrder {
+		total += uint64(m.counts[p])
+	}
+	if total == 0 {
+		return 0
+	}
+	if m.cfg.FullScan {
+		liveOrder = m.fullOrder()
+	} else {
+		sortByPopularity(liveOrder, m.counts)
+	}
 
 	// Size the hot region: smallest prefix of pages covering HotShare
 	// of the requests. Pages below the popularity floor never qualify:
@@ -215,7 +316,7 @@ func (m *Manager) Rebalance(busy func(memsys.PageID) bool) int {
 	}
 	cum := uint64(0)
 	hotPages := 0
-	for _, p := range order {
+	for _, p := range liveOrder {
 		if cum >= threshold || m.counts[p] < minHot {
 			break
 		}
@@ -272,15 +373,53 @@ func (m *Manager) Rebalance(busy func(memsys.PageID) bool) int {
 			}
 		}
 		for i := 0; i < capacity && rank < hotPages; i++ {
-			target[order[rank]] = int8(g)
+			target[liveOrder[rank]] = int8(g)
 			rank++
 		}
 	}
 
-	moves := m.executeMoves(newGroupOfChip, target, order, busy)
+	moves := m.executeMoves(newGroupOfChip, target, liveOrder, busy)
 	m.groupOfChip = newGroupOfChip
-	m.age()
+	m.rebuildLive(liveOrder)
+	m.age(liveOrder)
 	return moves
+}
+
+// coldScan walks pages from coldest to hottest: first the zero-count
+// pages by descending ID, then the live pages in reverse popularity
+// order. That is exactly the reference full sort read back to front —
+// zero-count pages all tie and so sort to the tail in ascending ID —
+// without ever materializing the zero-count tail.
+type coldScan struct {
+	counts []uint32
+	live   []int32 // popularity-sorted live pages
+	zi     int32   // next zero-count candidate ID, descending
+	li     int     // next live index, from the back
+}
+
+func (m *Manager) coldestFirst(liveOrder []int32) coldScan {
+	return coldScan{
+		counts: m.counts,
+		live:   liveOrder,
+		zi:     int32(len(m.counts)) - 1,
+		li:     len(liveOrder) - 1,
+	}
+}
+
+func (s *coldScan) next() (int32, bool) {
+	for s.zi >= 0 {
+		p := s.zi
+		s.zi--
+		if s.counts[p] == 0 {
+			return p, true
+		}
+	}
+	if s.li >= 0 {
+		p := s.live[s.li]
+		s.li--
+		return p, true
+	}
+	return 0, false
 }
 
 // executeMoves migrates hot-set pages into their target groups and
@@ -291,16 +430,16 @@ func (m *Manager) Rebalance(busy func(memsys.PageID) bool) int {
 // per-chip occupancy is preserved. Busy pages stay put; their
 // counterparts are trimmed so that |entering| == |leaving| for every
 // group.
-func (m *Manager) executeMoves(groupOfChip []int, target []int8, order []int32, busy func(memsys.PageID) bool) int {
+func (m *Manager) executeMoves(groupOfChip []int, target []int8, liveOrder []int32, busy func(memsys.PageID) bool) int {
 	k := m.cfg.Groups
 	cold := k - 1
 	entering := make([][]int32, k) // pages wanting in, hottest first
 	leaving := make([][]int32, k)  // pages wanting out (their chips free slots)
 	moving := make(map[int32]bool)
 
-	// Hot-set movers, hottest first (order is popularity-sorted and
-	// targets were assigned along its prefix).
-	for _, p := range order {
+	// Hot-set movers, hottest first (liveOrder is popularity-sorted
+	// and targets were assigned along its prefix).
+	for _, p := range liveOrder {
 		tgt := target[p]
 		if tgt < 0 {
 			break // end of the hot prefix
@@ -320,10 +459,15 @@ func (m *Manager) executeMoves(groupOfChip []int, target []int8, order []int32, 
 
 	// Room-making evictions: a hot group receiving more pages than it
 	// loses evicts its coldest uninvolved residents to the cold group.
+	// The scan restarts from the very coldest page for each group,
+	// matching the reference full-order walk.
 	for g := 0; g < cold; g++ {
 		deficit := len(entering[g]) - len(leaving[g])
-		for i := len(order) - 1; i >= 0 && deficit > 0; i-- {
-			p := order[i]
+		for it := m.coldestFirst(liveOrder); deficit > 0; {
+			p, ok := it.next()
+			if !ok {
+				break
+			}
 			if target[p] >= 0 || moving[p] {
 				continue
 			}
@@ -447,17 +591,22 @@ func (m *Manager) executeMoves(groupOfChip []int, target []int8, order []int32, 
 	return moves
 }
 
-func (m *Manager) age() {
+// age shifts the counters of the live pages; every other page already
+// counts zero, so touching only the live set matches the reference
+// behavior of shifting the whole array.
+func (m *Manager) age(liveOrder []int32) {
 	if m.cfg.AgeShift == 0 {
 		return
 	}
-	for i := range m.counts {
-		m.counts[i] >>= m.cfg.AgeShift
+	for _, p := range liveOrder {
+		m.counts[p] >>= m.cfg.AgeShift
 	}
 }
 
 // checkInvariants verifies that every chip holds exactly PagesPerChip
-// pages; tests call it.
+// pages and that the live-set index is consistent: tracked marks
+// exactly the listed pages, every nonzero count is tracked, no list
+// outgrows its chip, and no page is listed twice; tests call it.
 func (m *Manager) checkInvariants() error {
 	occ := make([]int, m.geo.NumChips)
 	for _, c := range m.loc {
@@ -467,6 +616,32 @@ func (m *Manager) checkInvariants() error {
 	for c, n := range occ {
 		if n != per {
 			return fmt.Errorf("chip %d holds %d pages, want %d", c, n, per)
+		}
+	}
+	listed := make([]bool, len(m.counts))
+	for c := range m.live {
+		if len(m.live[c]) > per {
+			return fmt.Errorf("chip %d live list holds %d entries, cap %d", c, len(m.live[c]), per)
+		}
+		if cap(m.live[c]) != per {
+			return fmt.Errorf("chip %d live list capacity %d, want %d (Observe must not reallocate)", c, cap(m.live[c]), per)
+		}
+		for _, p := range m.live[c] {
+			if listed[p] {
+				return fmt.Errorf("page %d listed twice", p)
+			}
+			listed[p] = true
+			if !m.tracked[p] {
+				return fmt.Errorf("page %d listed but not tracked", p)
+			}
+		}
+	}
+	for p := range m.counts {
+		if m.tracked[p] && !listed[p] {
+			return fmt.Errorf("page %d tracked but unlisted", p)
+		}
+		if m.counts[p] > 0 && !m.tracked[p] {
+			return fmt.Errorf("page %d has count %d but is untracked", p, m.counts[p])
 		}
 	}
 	return nil
