@@ -8,6 +8,7 @@
 //	             [-shards N] [-shard-addrs host:port,...]
 //	             [-shard-worker] [-shard-listen addr]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	             [-channels 1,2,4]
 //	             [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2|dss|tech|seeds]
 //
 // Each figure prints the same series the paper plots; EXPERIMENTS.md
@@ -32,6 +33,11 @@
 // byte-identical to the in-process run at any shard count.
 // -shard-worker serves one shard session on stdin/stdout and exits;
 // -shard-listen serves shard sessions over TCP until interrupted.
+//
+// -channels 1,2,4 adds a memory-channel dimension to the figure 10
+// sweep: each (workload, bus bandwidth) pair is re-simulated under a
+// channel-interleaved topology at every listed channel count, with the
+// per-channel bandwidth pinned to one chip's 3.2 GB/s rate.
 package main
 
 import (
@@ -71,6 +77,7 @@ func realMain() int {
 	shardWorker := flag.Bool("shard-worker", false, "serve one sweep-shard session on stdin/stdout and exit")
 	shardListen := flag.String("shard-listen", "", "serve sweep-shard sessions on this TCP address until interrupted")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-slice deadline before the coordinator retries on a fresh worker (0 = none)")
+	channelsFlag := flag.String("channels", "", "comma-separated channel counts added to the figure 10 sweep (e.g. 1,2,4; empty = legacy single-channel)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -145,6 +152,11 @@ func realMain() int {
 		s.PerEventFeeder = true
 	default:
 		fmt.Fprintf(os.Stderr, "dmamem-bench: unknown -feeder %q (want batched or per-event)\n", *feeder)
+		return 2
+	}
+	channels, err := parseChannels(*channelsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
 		return 2
 	}
 	var coord *experiments.Coordinator
@@ -273,8 +285,9 @@ func realMain() int {
 	})
 	run("10", func() error {
 		pts, err := gridPoints[experiments.SweepPoint](ctx, s, coord, experiments.GridSpec{
-			Name:  experiments.GridFig10,
-			BusBW: []float64{0.5e9, 1.064e9, 2e9, 3e9},
+			Name:     experiments.GridFig10,
+			BusBW:    []float64{0.5e9, 1.064e9, 2e9, 3e9},
+			Channels: channels,
 		})
 		if err != nil {
 			return err
@@ -329,6 +342,24 @@ func realMain() int {
 
 func fromStd(d time.Duration) sim.Duration {
 	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+}
+
+// parseChannels turns the -channels flag into the GridSpec.Channels
+// slice: "" means nil (legacy points), otherwise positive
+// comma-separated channel counts.
+func parseChannels(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad -channels entry %q (want positive integers, e.g. 1,2,4)", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // gridPoints runs a sweep grid in-process, or through the shard

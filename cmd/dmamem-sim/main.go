@@ -12,6 +12,9 @@
 //	  -groups 2          popularity groups for PL
 //	  -compare           also run the baseline and report savings
 //	  -parallel N        run the baseline and technique concurrently
+//	  -channels N        memory channels (0 = legacy single-channel)
+//	  -stripe-pages N    pages per channel stripe (with -channels)
+//	  -channel-bw B      per-channel bandwidth cap, bytes/s (with -channels)
 //
 // With -shard-worker the command instead serves one sweep-shard
 // session on stdin/stdout (see the shard protocol in
@@ -43,6 +46,9 @@ func main() {
 	cpLimit := flag.Float64("cp-limit", 0.10, "CP-Limit for DMA-TA")
 	groups := flag.Int("groups", 2, "PL popularity groups")
 	seed := flag.Uint64("seed", 1, "generator seed")
+	channels := flag.Int("channels", 0, "memory channels (0 = legacy single-channel)")
+	stripePages := flag.Int("stripe-pages", 0, "pages per channel stripe (0 = 1; needs -channels)")
+	channelBW := flag.Float64("channel-bw", 0, "per-channel bandwidth cap, bytes/s (0 = uncapped; needs -channels)")
 	compare := flag.Bool("compare", true, "also run the baseline and report savings")
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the -compare pair (1 = sequential)")
@@ -73,7 +79,10 @@ func main() {
 	}
 	fmt.Printf("trace %s: %s\n", tr.Name(), tr.Summary())
 
-	s := dmamem.Simulation{CPLimit: *cpLimit, PLGroups: *groups}
+	s := dmamem.Simulation{
+		CPLimit: *cpLimit, PLGroups: *groups,
+		Channels: *channels, ChannelStripePages: *stripePages, ChannelBandwidth: *channelBW,
+	}
 	switch *scheme {
 	case "baseline":
 		s.Technique = dmamem.Baseline

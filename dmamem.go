@@ -121,6 +121,21 @@ type Simulation struct {
 	// part (Section 5.4's "other memory technologies"). Any other
 	// string is rejected.
 	MemoryTech string
+	// Channels groups the 32 chips into that many independently
+	// clocked memory channels with channel-interleaved page mapping
+	// (DDR-style topology). Zero keeps the legacy single-channel
+	// behavior; set values must divide the chip count. A 1-channel
+	// topology is bit-identical to the legacy path.
+	Channels int
+	// ChannelStripePages is the number of consecutive pages placed on
+	// one channel before the mapping advances to the next (only
+	// meaningful with Channels set). Zero selects page-granular
+	// striping (1); negative values are rejected.
+	ChannelStripePages int
+	// ChannelBandwidth caps the aggregate delivery rate into one
+	// channel, bytes/s (only meaningful with Channels set). Zero means
+	// no per-channel cap; negative values are rejected.
+	ChannelBandwidth float64
 }
 
 // Validate checks every field against its legal range and returns a
@@ -163,6 +178,28 @@ func (s Simulation) Validate() error {
 	default:
 		return fmt.Errorf("dmamem: unknown memory technology %q (want rdram or ddr)", s.MemoryTech)
 	}
+	if s.Channels < 0 {
+		return fmt.Errorf("dmamem: negative Channels %d; 0 selects the single-channel default", s.Channels)
+	}
+	if s.ChannelStripePages < 0 {
+		return fmt.Errorf("dmamem: negative ChannelStripePages %d; 0 selects page-granular striping", s.ChannelStripePages)
+	}
+	if s.ChannelBandwidth < 0 {
+		return fmt.Errorf("dmamem: negative ChannelBandwidth %v; 0 means no per-channel cap", s.ChannelBandwidth)
+	}
+	if (s.ChannelStripePages != 0 || s.ChannelBandwidth != 0) && s.Channels == 0 {
+		return fmt.Errorf("dmamem: ChannelStripePages/ChannelBandwidth need Channels set")
+	}
+	if s.Channels != 0 {
+		topo := memsys.Topology{
+			Channels:         s.Channels,
+			StripePages:      s.ChannelStripePages,
+			ChannelBandwidth: s.ChannelBandwidth,
+		}
+		if err := topo.Validate(memsys.Default()); err != nil {
+			return fmt.Errorf("dmamem: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -185,6 +222,13 @@ func (s Simulation) coreConfig() (core.Config, error) {
 	case "", "rdram":
 	case "ddr":
 		cfg.MemSpec = energy.DDR400()
+	}
+	if s.Channels != 0 {
+		cfg.Topology = memsys.Topology{
+			Channels:         s.Channels,
+			StripePages:      s.ChannelStripePages,
+			ChannelBandwidth: s.ChannelBandwidth,
+		}
 	}
 	switch s.StaticMode {
 	case "standby":

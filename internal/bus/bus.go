@@ -83,11 +83,18 @@ type Allocator struct {
 	busCap  []float64
 	chipCap float64
 
+	// Optional third resource: per-channel capacity. When channelOf is
+	// nil the allocator behaves exactly as the two-resource original.
+	channelOf  []int // chip -> channel
+	channelCap []float64
+
 	// scratch
 	remBus    []float64
 	remChip   map[int]float64
 	busCount  []int
 	chipCount map[int]int
+	remChan   []float64
+	chanCount []int
 	rates     []float64
 	frozen    []bool
 }
@@ -116,6 +123,34 @@ func NewAllocator(busCap []float64, chipCap float64) *Allocator {
 	}
 }
 
+// SetChannels adds a per-channel capacity constraint: flow rates into
+// the chips of channel c additionally satisfy sum <= channelCap[c],
+// with channelOf mapping each chip index to its channel. Passing a nil
+// channelOf removes the constraint. The slices are retained, not
+// copied.
+func (a *Allocator) SetChannels(channelOf []int, channelCap []float64) {
+	if channelOf == nil {
+		a.channelOf, a.channelCap = nil, nil
+		return
+	}
+	for i, c := range channelCap {
+		if c <= 0 {
+			panic(fmt.Sprintf("bus: channel %d capacity %g", i, c))
+		}
+	}
+	for chip, ch := range channelOf {
+		if ch < 0 || ch >= len(channelCap) {
+			panic(fmt.Sprintf("bus: chip %d maps to channel %d of %d", chip, ch, len(channelCap)))
+		}
+	}
+	a.channelOf = channelOf
+	a.channelCap = channelCap
+	if cap(a.remChan) < len(channelCap) {
+		a.remChan = make([]float64, len(channelCap))
+		a.chanCount = make([]int, len(channelCap))
+	}
+}
+
 // Allocate returns the max-min fair rate of each flow, in bytes/s,
 // subject to sum(rates on bus b) <= busCap[b] and sum(rates into chip
 // c) <= chipCap. The result slice is valid until the next call.
@@ -137,6 +172,15 @@ func (a *Allocator) Allocate(flows []Flow) []float64 {
 	}
 	clear(a.remChip)
 	clear(a.chipCount)
+	channels := a.channelOf != nil
+	if channels {
+		remChan := a.remChan[:len(a.channelCap)]
+		chanCount := a.chanCount[:len(a.channelCap)]
+		copy(remChan, a.channelCap)
+		for i := range chanCount {
+			chanCount[i] = 0
+		}
+	}
 	for _, f := range flows {
 		if f.Bus < 0 || f.Bus >= len(a.busCap) {
 			panic(fmt.Sprintf("bus: flow references bus %d of %d", f.Bus, len(a.busCap)))
@@ -144,6 +188,9 @@ func (a *Allocator) Allocate(flows []Flow) []float64 {
 		a.busCount[f.Bus]++
 		a.chipCount[f.Chip]++
 		a.remChip[f.Chip] = a.chipCap
+		if channels {
+			a.chanCount[a.channelOf[f.Chip]]++
+		}
 	}
 	frozen := a.frozen[:len(flows)]
 	for i := range frozen {
@@ -173,6 +220,17 @@ func (a *Allocator) Allocate(flows []Flow) []float64 {
 				share = s
 			}
 		}
+		if channels {
+			for c, n := range a.chanCount[:len(a.channelCap)] {
+				if n == 0 {
+					continue
+				}
+				s := a.remChan[c] / float64(n)
+				if share < 0 || s < share {
+					share = s
+				}
+			}
+		}
 		if share < 0 {
 			panic("bus: unfrozen flows but no active resource")
 		}
@@ -187,17 +245,24 @@ func (a *Allocator) Allocate(flows []Flow) []float64 {
 			rates[i] += share
 			a.remBus[f.Bus] -= share
 			a.remChip[f.Chip] -= share
+			if channels {
+				a.remChan[a.channelOf[f.Chip]] -= share
+			}
 		}
 		const eps = 1e-6 // bytes/s; capacities are ~1e9
 		for i, f := range flows {
 			if frozen[i] {
 				continue
 			}
-			if a.remBus[f.Bus] <= eps || a.remChip[f.Chip] <= eps {
+			if a.remBus[f.Bus] <= eps || a.remChip[f.Chip] <= eps ||
+				(channels && a.remChan[a.channelOf[f.Chip]] <= eps) {
 				frozen[i] = true
 				remaining--
 				a.busCount[f.Bus]--
 				a.chipCount[f.Chip]--
+				if channels {
+					a.chanCount[a.channelOf[f.Chip]]--
+				}
 				progressed = true
 			}
 		}

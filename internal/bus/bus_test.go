@@ -157,6 +157,79 @@ func TestAllocateMaxMinRedistribution(t *testing.T) {
 	}
 }
 
+func TestAllocateChannelCap(t *testing.T) {
+	// Two 2 GB/s buses into two different 3.2 GB/s chips of the same
+	// channel, channel capped at 3 GB/s: the channel is the bottleneck
+	// and the flows split it evenly.
+	a := NewAllocator([]float64{2e9, 2e9}, 3.2e9)
+	a.SetChannels([]int{0, 0}, []float64{3e9})
+	rates := a.Allocate([]Flow{{Bus: 0, Chip: 0}, {Bus: 1, Chip: 1}})
+	for _, r := range rates {
+		if math.Abs(r-1.5e9) > 1e3 {
+			t.Fatalf("rates = %v, want 1.5e9 each", rates)
+		}
+	}
+}
+
+func TestAllocateChannelIndependence(t *testing.T) {
+	// Chips 0 and 1 on different channels: each flow is limited only by
+	// its own bus, exactly as without the channel constraint.
+	a := NewAllocator([]float64{2e9, 2e9}, 3.2e9)
+	a.SetChannels([]int{0, 1}, []float64{3e9, 3e9})
+	rates := a.Allocate([]Flow{{Bus: 0, Chip: 0}, {Bus: 1, Chip: 1}})
+	for _, r := range rates {
+		if math.Abs(r-2e9) > 1e3 {
+			t.Fatalf("rates = %v, want full bus each", rates)
+		}
+	}
+}
+
+func TestAllocateChannelUnsetMatchesLegacy(t *testing.T) {
+	// Setting and clearing the channel constraint restores the exact
+	// legacy rates (same arithmetic, bit for bit).
+	flows := []Flow{{0, 0}, {1, 0}, {0, 1}, {2, 5}}
+	legacy := NewAllocator([]float64{3e9, 1e9, 2e9}, 3.2e9)
+	want := append([]float64(nil), legacy.Allocate(flows)...)
+
+	a := NewAllocator([]float64{3e9, 1e9, 2e9}, 3.2e9)
+	a.SetChannels([]int{0, 0, 1, 1, 2, 2}, []float64{9e9, 9e9, 9e9})
+	a.Allocate(flows)
+	a.SetChannels(nil, nil)
+	got := a.Allocate(flows)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("flow %d: rate %g after channel round-trip, want %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSetChannelsPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		f    func(a *Allocator)
+	}{
+		{"nonpositive channel cap", func(a *Allocator) {
+			a.SetChannels([]int{0}, []float64{0})
+		}},
+		{"chip mapped out of range", func(a *Allocator) {
+			a.SetChannels([]int{2}, []float64{1e9, 1e9})
+		}},
+		{"negative channel", func(a *Allocator) {
+			a.SetChannels([]int{-1}, []float64{1e9})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			tc.f(pcixAlloc(1))
+		})
+	}
+}
+
 func TestAllocatePanicsOnBadBus(t *testing.T) {
 	a := pcixAlloc(1)
 	defer func() {

@@ -80,6 +80,10 @@ func (c *TAConfig) Validate() error {
 // Config assembles a memory system.
 type Config struct {
 	Geometry memsys.Geometry
+	// Topology optionally groups the chips into independently clocked
+	// channels (DDR-style). The zero value is the legacy single-channel
+	// RDRAM behavior, bit-identical to builds that predate the field.
+	Topology memsys.Topology
 	Buses    bus.Config
 	Policy   policy.Policy
 	// TA enables temporal alignment when non-nil.
@@ -108,6 +112,9 @@ type Config struct {
 // Validate reports a descriptive error for unusable configs.
 func (c *Config) Validate() error {
 	if err := c.Geometry.Validate(); err != nil {
+		return err
+	}
+	if err := c.Topology.Validate(c.Geometry); err != nil {
 		return err
 	}
 	if err := c.Buses.Validate(); err != nil {
@@ -154,8 +161,11 @@ type flow struct {
 
 // chipState wraps a chip with the controller-side queues.
 type chipState struct {
-	chip  *memsys.Chip
-	flows []*flow
+	chip *memsys.Chip
+	// channel owning the chip under the configured topology (0 in the
+	// legacy single-channel configuration).
+	channel int
+	flows   []*flow
 	// gated transfers held by DMA-TA (chip in a low-power mode).
 	gated []*xferState
 	// waiting transfers: the chip is waking; they start on completion.
@@ -218,14 +228,22 @@ type Controller struct {
 	onCompletionFn  sim.Handler
 	onEpochFn       sim.Handler
 
+	// Channel topology state. channels is the effective channel count
+	// (1 in the legacy configuration); channelOf maps chip -> channel.
+	channels  int
+	channelOf []int
+
 	// DMA-TA state.
-	taOn     bool
-	k        int     // gather target
-	muT      float64 // slack credit per request, ps
-	maxDelay sim.Duration
-	slack    float64 // ps
-	nGated   int
-	epochEvt sim.EventID
+	taOn bool
+	// kByChannel is the gather target per channel: k = ceil(Rm/Rb)
+	// where Rm is the chip's deliverable rate under that channel's
+	// bandwidth cap. The legacy path is the single entry kByChannel[0].
+	kByChannel []int
+	muT        float64 // slack credit per request, ps
+	maxDelay   sim.Duration
+	slack      float64 // ps
+	nGated     int
+	epochEvt   sim.EventID
 
 	// Derived constants.
 	lineTime sim.Duration // processor cache-line service time
@@ -267,7 +285,7 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 		mapper = cfg.Layout
 	}
 	if mapper == nil {
-		mapper = memsys.InterleavedMapper{Chips: cfg.Geometry.NumChips}
+		mapper = cfg.Topology.Mapper(cfg.Geometry)
 	}
 	busCaps := make([]float64, cfg.Buses.Count)
 	for i := range busCaps {
@@ -297,8 +315,23 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 	}
 	c.onCompletionFn = c.onCompletion
 	c.onEpochFn = c.onEpoch
+	c.channels = cfg.Topology.NumChannels()
+	c.channelOf = make([]int, cfg.Geometry.NumChips)
+	for i := range c.channelOf {
+		c.channelOf[i] = cfg.Topology.ChannelOfChip(cfg.Geometry, i)
+	}
+	if cfg.Topology.Enabled() && cfg.Topology.ChannelBandwidth > 0 {
+		chanCaps := make([]float64, c.channels)
+		for i := range chanCaps {
+			chanCaps[i] = cfg.Topology.ChannelBandwidth
+		}
+		c.alloc.SetChannels(c.channelOf, chanCaps)
+	}
 	for i := 0; i < cfg.Geometry.NumChips; i++ {
-		cs := &chipState{chip: memsys.NewChipWithSpec(i, cfg.InitialState, eng.Now(), spec)}
+		cs := &chipState{
+			chip:    memsys.NewChipWithSpec(i, cfg.InitialState, eng.Now(), spec),
+			channel: c.channelOf[i],
+		}
 		cs.policyFn = func(e *sim.Engine) { c.onPolicyTimer(cs, e) }
 		cs.wakeFn = func(e *sim.Engine) { c.onWakeComplete(cs, e) }
 		cs.sleepFn = func(e *sim.Engine) { c.onSleepComplete(cs, e) }
@@ -309,15 +342,25 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 	}
 	if cfg.TA != nil {
 		c.taOn = true
-		c.k = cfg.TA.GatherTarget
-		if c.k == 0 {
-			c.k = bus.GatherTarget(cfg.Geometry.ChipBandwidth, cfg.Buses.Bandwidth)
-		}
-		if c.k > cfg.Buses.Count {
-			// Fewer buses than ceil(Rm/Rb): full chip utilization is
-			// unreachable, so gather the best alignment possible — one
-			// stream per bus.
-			c.k = cfg.Buses.Count
+		c.kByChannel = make([]int, c.channels)
+		for ch := range c.kByChannel {
+			k := cfg.TA.GatherTarget
+			if k == 0 {
+				// Rm is what one chip of this channel can actually
+				// receive: its own rate, clamped by the channel cap.
+				rm := cfg.Geometry.ChipBandwidth
+				if bw := cfg.Topology.ChannelBandwidth; bw > 0 && bw < rm {
+					rm = bw
+				}
+				k = bus.GatherTarget(rm, cfg.Buses.Bandwidth)
+			}
+			if k > cfg.Buses.Count {
+				// Fewer buses than ceil(Rm/Rb): full chip utilization is
+				// unreachable, so gather the best alignment possible — one
+				// stream per bus.
+				k = cfg.Buses.Count
+			}
+			c.kByChannel[ch] = k
 		}
 		beat := cfg.Buses.BeatGap()
 		c.muT = cfg.TA.Mu * float64(beat)

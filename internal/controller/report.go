@@ -43,10 +43,13 @@ func (c *Controller) Report(scheme string, end sim.Time) *metrics.Report {
 		Events:           c.eng.Steps(),
 		ClampedProcSpans: c.clampedProc,
 	}
+	r.Channels = c.channels
+	r.ChannelEnergy = make([]energy.Breakdown, c.channels)
 	var transferTime, servingTime sim.Duration
 	for _, cs := range c.chips {
 		b := cs.chip.Meter.Breakdown()
 		r.Energy.Add(&b)
+		r.ChannelEnergy[cs.channel].Add(&b)
 		r.Wakes += cs.chip.Wakes
 		transferTime += cs.chip.TransferTime
 		servingTime += cs.chip.ServingTime

@@ -78,7 +78,7 @@ func (c *Controller) gatherWorthwhile(cs *chipState) bool {
 	if cs.ewmaGapPs == 0 {
 		return true // no history yet: gate optimistically
 	}
-	need := float64(c.k-1) * cs.ewmaGapPs * 1.5
+	need := float64(c.kByChannel[cs.channel]-1) * cs.ewmaGapPs * 1.5
 	return need <= float64(c.maxDelay)
 }
 
@@ -208,7 +208,8 @@ func (c *Controller) checkRelease(cs *chipState, now sim.Time) {
 	if n == 0 {
 		return
 	}
-	if c.distinctGatedBuses(cs) >= c.k {
+	k := c.kByChannel[cs.channel]
+	if c.distinctGatedBuses(cs) >= k {
 		c.RelGathered += int64(n)
 		c.release(cs, now)
 		return
@@ -222,7 +223,7 @@ func (c *Controller) checkRelease(cs *chipState, now sim.Time) {
 	}
 	m := c.maxPerBus(cs)
 	r := c.cfg.Buses.Count
-	groups := (r + c.k - 1) / c.k
+	groups := (r + k - 1) / k
 	u := float64(m) * float64(c.T()) * float64(groups)
 	if float64(n)*u/2 >= c.slack {
 		c.RelSlack += int64(n)

@@ -27,6 +27,11 @@ import (
 type Config struct {
 	// Geometry of the memory system; zero means memsys.Default().
 	Geometry memsys.Geometry
+	// Topology optionally groups the chips into independently clocked
+	// DDR-style channels with channel-interleaved page mapping. The
+	// zero value is the legacy single-channel behavior, bit-identical
+	// to builds that predate the field.
+	Topology memsys.Topology
 	// Buses of the I/O subsystem; zero means bus.DefaultConfig().
 	Buses bus.Config
 	// Policy is the low-level power manager; nil means the dynamic
@@ -200,6 +205,7 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, erro
 	res := &Result{}
 	ccfg := controller.Config{
 		Geometry:           cfg.Geometry,
+		Topology:           cfg.Topology,
 		Buses:              cfg.Buses,
 		Policy:             cfg.Policy,
 		TA:                 cfg.TA,

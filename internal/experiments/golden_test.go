@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmamem/internal/core"
+	"dmamem/internal/metrics"
+	"dmamem/internal/sim"
+)
+
+// -update regenerates the golden corpus under testdata/golden/ from
+// the current simulator:
+//
+//	go test -run TestGolden -update ./internal/experiments/
+//
+// Goldens pin every float of every metrics.Report bit for bit, so any
+// intentional change to simulation arithmetic must regenerate them and
+// the diff reviews as part of the change. Floats are written in Go's
+// shortest round-trip form and are architecture-pinned (CI is amd64;
+// FMA contraction on other architectures could legally differ).
+var updateGolden = flag.Bool("update", false, "rewrite the golden report corpus from the current simulator")
+
+// goldenSuite mirrors the cross-check suites: 4 ms traces (2 ms for
+// the denser database workloads), seed 1.
+func goldenSuite() *Suite {
+	s := NewSuite(4*sim.Millisecond, 1)
+	s.DbDuration = 2 * sim.Millisecond
+	return s
+}
+
+// goldenSchemes are the Table 2 schemes the corpus pins per workload.
+func goldenSchemes() []struct {
+	label string
+	cfg   core.Config
+} {
+	return []struct {
+		label string
+		cfg   core.Config
+	}{
+		{"baseline", core.Config{}},
+		{"dma-ta", taConfig(0.10, nil)},
+		{"dma-ta-pl", taConfig(0.10, plConfig(2))},
+	}
+}
+
+func goldenPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("testdata", "golden", name)
+}
+
+// writeOrCompareGolden marshals v and either rewrites the golden file
+// (-update) or byte-compares against it, with a field-by-field report
+// on mismatch when both sides unmarshal into the same type.
+func writeOrCompareGolden[T any](t *testing.T, path string, v T) {
+	t.Helper()
+	got, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal %s: %v", path, err)
+	}
+	got = append(got, '\n')
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run with -update to generate): %v", path, err)
+	}
+	if bytes.Equal(got, want) {
+		return
+	}
+	var wantV T
+	if err := json.Unmarshal(want, &wantV); err != nil {
+		t.Fatalf("%s drifted and the committed golden no longer parses: %v", path, err)
+	}
+	t.Errorf("%s drifted from the golden corpus:\n%s\n(run with -update after reviewing the change)",
+		path, diffFields("", reflect.ValueOf(v), reflect.ValueOf(wantV)))
+}
+
+// diffFields renders the differing leaves of two values of the same
+// type, one "path: got != want" line each, so a golden failure names
+// the drifted fields instead of dumping two full reports.
+func diffFields(path string, got, want reflect.Value) string {
+	if got.Type() != want.Type() {
+		return fmt.Sprintf("%s: type %v != %v\n", path, got.Type(), want.Type())
+	}
+	switch got.Kind() {
+	case reflect.Pointer, reflect.Interface:
+		if got.IsNil() != want.IsNil() {
+			return fmt.Sprintf("%s: nilness %v != %v\n", path, got.IsNil(), want.IsNil())
+		}
+		if got.IsNil() {
+			return ""
+		}
+		return diffFields(path, got.Elem(), want.Elem())
+	case reflect.Struct:
+		var b strings.Builder
+		for i := 0; i < got.NumField(); i++ {
+			name := got.Type().Field(i).Name
+			b.WriteString(diffFields(path+"."+name, got.Field(i), want.Field(i)))
+		}
+		return b.String()
+	case reflect.Slice, reflect.Array:
+		if got.Len() != want.Len() {
+			return fmt.Sprintf("%s: length %d != %d\n", path, got.Len(), want.Len())
+		}
+		var b strings.Builder
+		for i := 0; i < got.Len(); i++ {
+			b.WriteString(diffFields(fmt.Sprintf("%s[%d]", path, i), got.Index(i), want.Index(i)))
+		}
+		return b.String()
+	default:
+		if !reflect.DeepEqual(got.Interface(), want.Interface()) {
+			return fmt.Sprintf("%s: %v != %v\n", path, got.Interface(), want.Interface())
+		}
+		return ""
+	}
+}
+
+// TestGoldenReports diffs the canonical report of every Table 2
+// workload x scheme against the committed corpus, field by field. The
+// corpus is the regression net for hot-path rewrites: any change that
+// moves a single float or event count anywhere in the simulator fails
+// here with the exact drifted fields named.
+func TestGoldenReports(t *testing.T) {
+	s := goldenSuite()
+	for _, name := range workloadNames {
+		tr, err := s.workload(name)
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		window := tr.Duration() + 2*sim.Millisecond
+		for _, sc := range goldenSchemes() {
+			sc := sc
+			t.Run(name+"/"+sc.label, func(t *testing.T) {
+				cfg := sc.cfg
+				cfg.MeterWindow = window
+				res, err := core.Run(cfg, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				file := fmt.Sprintf("%s_%s.json", strings.ToLower(name), sc.label)
+				writeOrCompareGolden(t, goldenPath(t, file), res.Report)
+			})
+		}
+	}
+}
+
+// fig10ChannelsSpec is the multi-channel sweep slice the sharded
+// golden pins: one workload and bus bandwidth, swept over 1/2/4
+// channels.
+func fig10ChannelsSpec() GridSpec {
+	return GridSpec{
+		Name:      GridFig10,
+		Workloads: []string{"Synthetic-St"},
+		BusBW:     []float64{1.064e9},
+		Channels:  []int{1, 2, 4},
+	}
+}
+
+// TestGoldenMultiChannelSweep pins the multi-channel figure 10 points
+// against the corpus and proves the sharded executor reproduces them
+// byte-identically at 1, 2 and 4 shards — topology serialized through
+// the shard protocol included. Running under -race in CI makes this
+// the "golden corpus passes under -race at shards 1/2/4" gate.
+func TestGoldenMultiChannelSweep(t *testing.T) {
+	s := goldenSuite()
+	spec := fig10ChannelsSpec()
+	want, err := GridRun[SweepPoint](ctx, s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeOrCompareGolden(t, goldenPath(t, "fig10_channels.json"), want)
+	for _, shards := range []int{1, 2, 4} {
+		c := &Coordinator{Shards: shards, Timings: &metrics.Timings{}, dial: pipeDial(t)}
+		got, err := ShardedGrid[SweepPoint](ctx, c, s.Spec(), spec)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("shards=%d: sharded multi-channel points differ\ngot  %+v\nwant %+v", shards, got, want)
+		}
+	}
+}

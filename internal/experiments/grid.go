@@ -8,6 +8,7 @@ import (
 
 	"dmamem/internal/bus"
 	"dmamem/internal/core"
+	"dmamem/internal/memsys"
 	"dmamem/internal/sim"
 	"dmamem/internal/synth"
 )
@@ -94,6 +95,14 @@ type GridSpec struct {
 	// Workloads restricts GridFig10 to the named Table 2 workloads;
 	// empty means the paper's pair {OLTP-St, Synthetic-St}.
 	Workloads []string `json:",omitempty"`
+	// Channels adds a memory-channel dimension to GridFig10: every
+	// (workload, bus bandwidth) pair is additionally swept over these
+	// channel counts, each simulated under a memsys.Topology with that
+	// many independently clocked channels (channel bandwidth pinned to
+	// one chip's 3.2 GB/s rate, DDR style). Empty means the legacy
+	// single-channel RDRAM points, byte-identical to specs that predate
+	// the field.
+	Channels []int `json:",omitempty"`
 	// Points is the number of trivial points of GridNoop.
 	Points int `json:",omitempty"`
 }
@@ -357,30 +366,45 @@ func (s *Suite) fig9Grid(gs GridSpec) *resolvedGrid {
 }
 
 // fig10Grid enumerates the bandwidth-ratio sweep: one point per
-// (workload, bus bandwidth, scheme), memory rate fixed at 3.2 GB/s.
+// (workload, bus bandwidth, channel count, scheme), memory rate fixed
+// at 3.2 GB/s. Without Channels it degenerates to the classic
+// (workload, bus bandwidth, scheme) enumeration, byte for byte.
 func (s *Suite) fig10Grid(gs GridSpec) *resolvedGrid {
 	workloads := gs.Workloads
 	if len(workloads) == 0 {
 		workloads = []string{"OLTP-St", "Synthetic-St"}
 	}
+	chans := gs.Channels
+	if len(chans) == 0 {
+		chans = []int{0} // legacy single-channel RDRAM point
+	}
 	type spec struct {
 		workload string
 		bw       float64
+		channels int // 0 = topology disabled
 		scheme   int
 	}
 	var specs []spec
 	for _, name := range workloads {
 		for _, bw := range gs.BusBW {
-			for si := range sweepSchemes {
-				specs = append(specs, spec{name, bw, si})
+			for _, ch := range chans {
+				for si := range sweepSchemes {
+					specs = append(specs, spec{name, bw, ch, si})
+				}
 			}
 		}
+	}
+	schemeName := func(sp spec) string {
+		if sp.channels == 0 {
+			return sweepSchemes[sp.scheme]
+		}
+		return fmt.Sprintf("%s-%dch", sweepSchemes[sp.scheme], sp.channels)
 	}
 	return &resolvedGrid{
 		n: len(specs),
 		label: func(i int) string {
 			sp := specs[i]
-			return fmt.Sprintf("fig10/%s/%s/bw=%g", sp.workload, sweepSchemes[sp.scheme], sp.bw)
+			return fmt.Sprintf("fig10/%s/%s/bw=%g", sp.workload, schemeName(sp), sp.bw)
 		},
 		run: func(ctx context.Context, i int) (any, uint64, error) {
 			sp := specs[i]
@@ -389,13 +413,19 @@ func (s *Suite) fig10Grid(gs GridSpec) *resolvedGrid {
 				return nil, 0, err
 			}
 			bc := bus.Config{Count: 3, Bandwidth: sp.bw}
+			base := core.Config{Buses: bc}
 			tech := sweepSchemeConfig(sweepSchemes[sp.scheme])
 			tech.Buses = bc
-			savings, events, err := s.runPair(ctx, core.Config{Buses: bc}, tech, tr)
+			if sp.channels > 0 {
+				topo := memsys.Topology{Channels: sp.channels, ChannelBandwidth: 3.2e9}
+				base.Topology = topo
+				tech.Topology = topo
+			}
+			savings, events, err := s.runPair(ctx, base, tech, tr)
 			if err != nil {
 				return nil, 0, err
 			}
-			return SweepPoint{Workload: sp.workload, Scheme: sweepSchemes[sp.scheme],
+			return SweepPoint{Workload: sp.workload, Scheme: schemeName(sp),
 				X: 3.2e9 / sp.bw, Savings: savings}, events, nil
 		},
 	}

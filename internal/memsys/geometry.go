@@ -6,6 +6,7 @@ package memsys
 
 import (
 	"fmt"
+	"math"
 
 	"dmamem/internal/sim"
 )
@@ -48,8 +49,10 @@ func (g Geometry) Validate() error {
 		return fmt.Errorf("memsys: PageBytes must be positive, got %d", g.PageBytes)
 	case int64(g.PageBytes) > g.ChipBytes:
 		return fmt.Errorf("memsys: page (%d B) larger than chip (%d B)", g.PageBytes, g.ChipBytes)
-	case g.ChipBandwidth <= 0:
-		return fmt.Errorf("memsys: ChipBandwidth must be positive, got %g", g.ChipBandwidth)
+	case g.ChipBytes%int64(g.PageBytes) != 0:
+		return fmt.Errorf("memsys: ChipBytes (%d) must be a multiple of PageBytes (%d)", g.ChipBytes, g.PageBytes)
+	case g.ChipBandwidth <= 0 || math.IsNaN(g.ChipBandwidth) || math.IsInf(g.ChipBandwidth, 0):
+		return fmt.Errorf("memsys: ChipBandwidth must be positive and finite, got %g", g.ChipBandwidth)
 	}
 	return nil
 }

@@ -47,10 +47,28 @@ func TestGeometryValidate(t *testing.T) {
 		{NumChips: 1, ChipBytes: 1, PageBytes: 0, ChipBandwidth: 1},
 		{NumChips: 1, ChipBytes: 4, PageBytes: 8, ChipBandwidth: 1},
 		{NumChips: 1, ChipBytes: 8, PageBytes: 8, ChipBandwidth: 0},
+		// ChipBytes not a whole number of pages: PagesPerChip would
+		// silently truncate and lose the tail of every chip.
+		{NumChips: 1, ChipBytes: 12, PageBytes: 8, ChipBandwidth: 1},
+		{NumChips: 32, ChipBytes: 32<<20 + 1, PageBytes: 8 << 10, ChipBandwidth: 3.2e9},
+		// Non-finite bandwidth: NaN slips through a plain <= 0 check.
+		{NumChips: 1, ChipBytes: 8, PageBytes: 8, ChipBandwidth: math.NaN()},
+		{NumChips: 1, ChipBytes: 8, PageBytes: 8, ChipBandwidth: math.Inf(1)},
+		{NumChips: 1, ChipBytes: 8, PageBytes: 8, ChipBandwidth: -1},
 	}
 	for i, g := range bad {
 		if g.Validate() == nil {
 			t.Errorf("case %d: expected error for %+v", i, g)
+		}
+	}
+	good := []Geometry{
+		Default(),
+		{NumChips: 1, ChipBytes: 8, PageBytes: 8, ChipBandwidth: 1},
+		{NumChips: 16, ChipBytes: 64 << 10, PageBytes: 8 << 10, ChipBandwidth: 2.1e9},
+	}
+	for i, g := range good {
+		if err := g.Validate(); err != nil {
+			t.Errorf("good case %d: unexpected error %v for %+v", i, err, g)
 		}
 	}
 }

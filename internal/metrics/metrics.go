@@ -22,6 +22,16 @@ type Report struct {
 	// Energy is the system-wide breakdown in joules.
 	Energy energy.Breakdown
 
+	// Channels is the number of memory channels the run modeled (1 for
+	// the legacy single-channel RDRAM configuration).
+	Channels int
+	// ChannelEnergy is the per-channel slice of Energy: entry c sums
+	// the chip meters of channel c's chips. System-level costs that are
+	// not attributable to one channel (PL migration energy) appear only
+	// in Energy, so summing ChannelEnergy recovers Energy minus
+	// Energy[CatMigration]'s layout contribution.
+	ChannelEnergy []energy.Breakdown
+
 	// UtilizationFactor is uf = T_useful / T_tot over all chips:
 	// T_tot is active time with >=1 DMA transfer in progress, T_useful
 	// the portion actually serving DMA data.
