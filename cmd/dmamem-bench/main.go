@@ -9,7 +9,13 @@
 //	             [-shard-worker] [-shard-listen addr]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	             [-channels 1,2,4]
+//	             [-replay trace.dmt] [-replay-cp-limit 0.10] [-replay-groups 2]
 //	             [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2|dss|tech|seeds]
+//
+// -replay file.dmt skips the figures and instead streams a recorded
+// .dmt trace (see `dmamem-trace record` and docs/TRACE_FORMAT.md)
+// through the file-backed feeder, baseline vs technique, in flat
+// memory regardless of trace length.
 //
 // Each figure prints the same series the paper plots; EXPERIMENTS.md
 // records the paper-vs-measured comparison. Independent simulation
@@ -78,10 +84,23 @@ func realMain() int {
 	shardListen := flag.String("shard-listen", "", "serve sweep-shard sessions on this TCP address until interrupted")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-slice deadline before the coordinator retries on a fresh worker (0 = none)")
 	channelsFlag := flag.String("channels", "", "comma-separated channel counts added to the figure 10 sweep (e.g. 1,2,4; empty = legacy single-channel)")
+	replayFile := flag.String("replay", "", "replay a recorded .dmt trace through the file-backed feeder instead of running figures")
+	replayCP := flag.Float64("replay-cp-limit", 0.10, "CP-Limit for the -replay technique run")
+	replayGroups := flag.Int("replay-groups", 2, "PL popularity groups for -replay (0 = DMA-TA only)")
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *replayFile != "" {
+		out, err := experiments.ReplayFile(ctx, *replayFile, *replayCP, *replayGroups)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+			return 1
+		}
+		fmt.Print(out)
+		return 0
+	}
 
 	if *shardWorker {
 		if err := experiments.ServeShard(ctx, os.Stdin, os.Stdout); err != nil {

@@ -4,7 +4,9 @@
 // Usage:
 //
 //	dmamem-sim [flags]
-//	  -trace file        binary trace (default: generate Synthetic-St)
+//	  -trace file        binary trace (default: generate Synthetic-St);
+//	                     a .dmt container streams through the
+//	                     file-backed feeder in flat memory
 //	  -workload name     synthetic-st | synthetic-db | oltp-st | oltp-db
 //	  -duration 100ms    duration of the generated trace
 //	  -scheme name       baseline | dma-ta | dma-ta-pl | no-pm
@@ -36,6 +38,7 @@ import (
 
 	"dmamem"
 	"dmamem/internal/experiments"
+	"dmamem/internal/trace"
 )
 
 func main() {
@@ -73,15 +76,28 @@ func main() {
 		return
 	}
 
-	tr, err := loadTrace(*traceFile, *workload, *duration, *seed)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("trace %s: %s\n", tr.Name(), tr.Summary())
-
 	s := dmamem.Simulation{
 		CPLimit: *cpLimit, PLGroups: *groups,
 		Channels: *channels, ChannelStripePages: *stripePages, ChannelBandwidth: *channelBW,
+	}
+	var tr *dmamem.Trace
+	if *traceFile != "" && isDMT(*traceFile) {
+		// Stream the container through the file-backed feeder: the
+		// report is bit-identical to loading it, in flat memory.
+		s.TraceFile = *traceFile
+		st, err := dmamem.StatTraceFile(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace %s: %d records over %v (streaming from %s)\n",
+			st.Name, st.Records, st.Duration, *traceFile)
+	} else {
+		var err error
+		tr, err = loadTrace(*traceFile, *workload, *duration, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace %s: %s\n", tr.Name(), tr.Summary())
 	}
 	switch *scheme {
 	case "baseline":
@@ -134,6 +150,20 @@ func emitJSON(v any) {
 	if err := enc.Encode(v); err != nil {
 		fatal(err)
 	}
+}
+
+// isDMT reports whether path starts with the .dmt container magic.
+func isDMT(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := f.Read(magic[:]); err != nil {
+		return false
+	}
+	return trace.IsDMT(magic[:])
 }
 
 func loadTrace(file, workload string, d time.Duration, seed uint64) (*dmamem.Trace, error) {

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// The subcommands exit the process on error (fatal), so reaching the
+// end of each call is the success assertion; the golden and
+// feeder-equivalence suites under internal/experiments pin the
+// numbers these commands print.
+
+func TestRecordInfoReplay(t *testing.T) {
+	dir := t.TempDir()
+	dmt := filepath.Join(dir, "st.dmt")
+	record([]string{"-workload", "synthetic-st", "-duration", "2ms", "-chunk", "128", "-o", dmt})
+	if !isDMT(dmt) {
+		t.Fatalf("record produced %s without the .dmt magic", dmt)
+	}
+
+	info([]string{dmt}, false) // footer-only summary
+	info([]string{dmt}, true)  // popularity CDF: decodes the records
+
+	replay([]string{"-scheme", "dma-ta-pl", "-cp-limit", "0.1", "-groups", "2", dmt})
+	replay([]string{"-scheme", "baseline", "-compare=false", dmt})
+}
+
+func TestRecordAllWorkloads(t *testing.T) {
+	dir := t.TempDir()
+	for _, w := range []string{"synthetic-db", "oltp-st", "oltp-db"} {
+		p := filepath.Join(dir, w+".dmt")
+		record([]string{"-workload", w, "-duration", "2ms", "-o", p})
+		if !isDMT(p) {
+			t.Errorf("workload %s: %s missing the .dmt magic", w, p)
+		}
+	}
+}
+
+func TestGenLegacyFormat(t *testing.T) {
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "st.bin")
+	gen([]string{"-workload", "synthetic-st", "-duration", "2ms", "-o", legacy})
+	if isDMT(legacy) {
+		t.Fatalf("gen produced %s with the .dmt magic; want the legacy format", legacy)
+	}
+	info([]string{legacy}, false) // legacy path: loads the whole trace
+}

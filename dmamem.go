@@ -44,6 +44,7 @@ import (
 	"dmamem/internal/memsys"
 	"dmamem/internal/policy"
 	"dmamem/internal/sim"
+	"dmamem/internal/trace"
 )
 
 // Technique selects the energy-management scheme.
@@ -136,6 +137,14 @@ type Simulation struct {
 	// channel, bytes/s (only meaningful with Channels set). Zero means
 	// no per-channel cap; negative values are rejected.
 	ChannelBandwidth float64
+	// TraceFile streams the trace from a .dmt container on disk (see
+	// CreateTraceFile and Trace.SaveFile) instead of an in-memory
+	// Trace: pass a nil trace to Run/Compare and set this path. The
+	// records are decoded chunk by chunk, so memory stays flat no
+	// matter how long the trace is, and the report is bit-identical to
+	// running the same records from memory. Setting both a trace and
+	// TraceFile is an error.
+	TraceFile string
 }
 
 // Validate checks every field against its legal range and returns a
@@ -208,6 +217,7 @@ func (s Simulation) coreConfig() (core.Config, error) {
 	if err := s.Validate(); err != nil {
 		return cfg, err
 	}
+	cfg.TraceFile = s.TraceFile
 	if s.Buses != 0 || s.BusBandwidth != 0 {
 		bc := bus.DefaultConfig()
 		if s.Buses != 0 {
@@ -262,14 +272,25 @@ func (s Simulation) coreConfig() (core.Config, error) {
 	return cfg, nil
 }
 
+// internalTrace unwraps a possibly-nil public trace for the core
+// layer, which accepts nil when a Simulation.TraceFile streams the
+// records from disk instead.
+func internalTrace(tr *Trace) *trace.Trace {
+	if tr == nil {
+		return nil
+	}
+	return tr.t
+}
+
 // Run simulates one configuration over a trace and reports the energy
-// and performance outcome.
+// and performance outcome. The trace may be nil when s.TraceFile names
+// a .dmt container to stream from.
 func Run(s Simulation, tr *Trace) (*Report, error) {
 	cfg, err := s.coreConfig()
 	if err != nil {
 		return nil, err
 	}
-	res, err := core.Run(cfg, tr.t)
+	res, err := core.Run(cfg, internalTrace(tr))
 	if err != nil {
 		return nil, err
 	}
@@ -289,7 +310,9 @@ type Comparison struct {
 // Compare runs the baseline and the given technique over the trace
 // with a shared metering window. The baseline inherits the same
 // hardware configuration (buses, static policy) so the comparison
-// isolates the technique.
+// isolates the technique. The trace may be nil when s.TraceFile names
+// a .dmt container: both runs then replay it from disk in bounded
+// memory.
 func Compare(s Simulation, tr *Trace) (*Comparison, error) {
 	return CompareContext(context.Background(), s, tr, 1)
 }
@@ -313,7 +336,7 @@ func CompareContext(ctx context.Context, s Simulation, tr *Trace, parallel int) 
 	if err != nil {
 		return nil, err
 	}
-	base, techRes, savings, err := core.RunBaselinePairParallel(ctx, baseCfg, tech, tr.t, parallel)
+	base, techRes, savings, err := core.RunBaselinePairParallel(ctx, baseCfg, tech, internalTrace(tr), parallel)
 	if err != nil {
 		return nil, err
 	}

@@ -85,6 +85,13 @@ type Config struct {
 	// distinct timestamp in both modes); the knob exists for the
 	// cross-check test and debugging.
 	PerEventFeeder bool
+	// TraceFile streams the trace from a .dmt container on disk instead
+	// of an in-memory trace: pass a nil trace to Run/RunContext and set
+	// this path. Records are decoded chunk by chunk (bounded memory
+	// regardless of trace length) and the report is bit-identical to
+	// running the same records from memory. Mutually exclusive with a
+	// non-nil trace and with PerEventFeeder.
+	TraceFile string
 }
 
 // withDefaults returns a fully populated copy.
@@ -146,11 +153,18 @@ func (r *Result) SimEvents() uint64 {
 // trace's metadata (with documented fallbacks for bare traces) and the
 // mean DMA-memory requests per transfer from the trace itself.
 func Calibrate(tr *trace.Trace, geo memsys.Geometry, buses bus.Config) metrics.Calibration {
-	st := trace.Analyze(tr)
+	return calibrate(tr.Meta, trace.Analyze(tr).MeanTransferPages(), geo, buses)
+}
+
+// calibrate is the shared CP-Limit calibration core. Both trace
+// sources go through it with identical inputs — the in-memory path
+// via trace.Analyze, the file-backed path via the .dmt footer's
+// aggregate DMA totals — so the derived mu is bit-identical.
+func calibrate(meta trace.Meta, meanTransferPages float64, geo memsys.Geometry, buses bus.Config) metrics.Calibration {
 	cal := metrics.Calibration{
-		MeanClientResponse:      tr.Meta.MeanClientResponse,
-		TransfersPerRequest:     tr.Meta.TransfersPerClientRequest,
-		MeanRequestsPerTransfer: st.MeanTransferPages() * float64(geo.PageBytes) / memsys.RequestBytes,
+		MeanClientResponse:      meta.MeanClientResponse,
+		TransfersPerRequest:     meta.TransfersPerClientRequest,
+		MeanRequestsPerTransfer: meanTransferPages * float64(geo.PageBytes) / memsys.RequestBytes,
 		T:                       buses.BeatGap(),
 		// Off-line measured transform factor (Section 5.1): half the
 		// analytic budget absorbs the queueing and wake amplification
@@ -180,7 +194,21 @@ func Run(cfg Config, tr *trace.Trace) (*Result, error) {
 // thousand dispatches, so a cancelled context aborts a simulation
 // mid-run within microseconds of wall time. A run that is never
 // cancelled is bit-identical to Run.
+//
+// The trace may be nil when cfg.TraceFile names a .dmt container: the
+// records then stream from disk in bounded memory (see runFileContext)
+// with a bit-identical report.
 func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, error) {
+	if tr == nil {
+		if cfg.TraceFile == "" {
+			return nil, fmt.Errorf("core: nil trace and no Config.TraceFile to stream from")
+		}
+		return runFileContext(ctx, cfg)
+	}
+	if cfg.TraceFile != "" {
+		return nil, fmt.Errorf("core: both an in-memory trace %q and Config.TraceFile %q given; pass one",
+			tr.Name, cfg.TraceFile)
+	}
 	cfg = cfg.withDefaults()
 	if err := tr.Validate(); err != nil {
 		return nil, err
@@ -380,11 +408,35 @@ func scheduleRebalances(eng *sim.Engine, ctl *controller.Controller, lm *layout.
 	}
 }
 
+// pairWindow derives the shared metering window for a baseline/
+// technique pair: the trace duration plus 2 ms of drain, read from the
+// in-memory trace or — when tr is nil and the configs stream from disk
+// — from the .dmt footer of the baseline config's TraceFile (the pair
+// must replay the same container, so either footer serves).
+func pairWindow(base Config, tr *trace.Trace) (sim.Duration, error) {
+	if tr != nil {
+		return tr.Duration() + 2*sim.Millisecond, nil
+	}
+	if base.TraceFile == "" {
+		return 0, fmt.Errorf("core: nil trace and no Config.TraceFile to stream from")
+	}
+	fr, err := trace.OpenDMTFile(base.TraceFile)
+	if err != nil {
+		return 0, err
+	}
+	defer fr.Close()
+	return fr.Summary().Duration + 2*sim.Millisecond, nil
+}
+
 // RunBaselinePair runs the same trace under a baseline config and a
 // technique config with a shared metering window, returning both
-// results plus the fractional savings.
+// results plus the fractional savings. The trace may be nil when both
+// configs name the same .dmt container in TraceFile.
 func RunBaselinePair(base, tech Config, tr *trace.Trace) (b, t *Result, savings float64, err error) {
-	window := tr.Duration() + 2*sim.Millisecond
+	window, err := pairWindow(base, tr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	base.MeterWindow = window
 	tech.MeterWindow = window
 	if b, err = Run(base, tr); err != nil {
@@ -410,7 +462,10 @@ func RunBaselinePairParallel(ctx context.Context, base, tech Config, tr *trace.T
 	if err = ctx.Err(); err != nil {
 		return nil, nil, 0, err
 	}
-	window := tr.Duration() + 2*sim.Millisecond
+	window, err := pairWindow(base, tr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
 	base.MeterWindow = window
 	tech.MeterWindow = window
 	if parallel <= 1 {

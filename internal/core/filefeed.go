@@ -1,0 +1,207 @@
+// File-backed simulation: the same run assembly as RunContext, with
+// the trace streamed from a .dmt container instead of a slice. The
+// container is traversed at most three times — a validation-plus-
+// warm-up pass, then the simulated pass, each through a bounded-memory
+// cursor — and the CP-Limit calibration comes from the container's
+// footer aggregates, so a trace 100x longer than memory runs in the
+// same flat footprint as a short one. Reports are bit-identical to the
+// in-memory path on the same records: validation rules, warm-up
+// arithmetic, calibration floats and feeder batching all match.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"dmamem/internal/controller"
+	"dmamem/internal/dma"
+	"dmamem/internal/layout"
+	"dmamem/internal/memsys"
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+// runFileContext is RunContext for Config.TraceFile.
+func runFileContext(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if cfg.PerEventFeeder {
+		return nil, fmt.Errorf("core: PerEventFeeder needs an in-memory trace; TraceFile streams through the batched feeder")
+	}
+	fr, err := trace.OpenDMTFile(cfg.TraceFile)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Close()
+	sum := fr.Summary()
+	if sum.Records == 0 {
+		return nil, fmt.Errorf("core: empty trace %q", sum.Name)
+	}
+
+	res := &Result{}
+	ccfg := controller.Config{
+		Geometry:           cfg.Geometry,
+		Topology:           cfg.Topology,
+		Buses:              cfg.Buses,
+		Policy:             cfg.Policy,
+		TA:                 cfg.TA,
+		Mapper:             cfg.Mapper,
+		MemSpec:            cfg.MemSpec,
+		InitialState:       0, // Active; the policy idles chips down immediately
+		FullScanAccounting: cfg.FullScanAccounting,
+	}
+
+	if cfg.TA != nil && cfg.TA.Mu == 0 && cfg.CPLimit > 0 {
+		// The footer carries the trace's DMA totals, so the calibration
+		// needs no scan and its floats match Calibrate's exactly.
+		cal := calibrate(sum.Meta, sum.MeanTransferPages(), cfg.Geometry, cfg.Buses)
+		mu, err := cal.Mu(cfg.CPLimit)
+		if err != nil {
+			return nil, err
+		}
+		ta := *cfg.TA // do not mutate the caller's config
+		ta.Mu = mu
+		ccfg.TA = &ta
+		res.Calibration = cal
+		res.Mu = mu
+	} else if cfg.TA != nil {
+		res.Mu = cfg.TA.Mu
+	}
+
+	var lm *layout.Manager
+	if cfg.PL != nil {
+		lm, err = layout.New(cfg.Geometry, *cfg.PL)
+		if err != nil {
+			return nil, err
+		}
+		ccfg.Layout = lm
+	}
+	// One streaming pass validates every record (the semantic checks
+	// the codec leaves to the simulator, matching the in-memory path's
+	// Validate plus page-range scan) and feeds the warm-up prefix to
+	// the layout manager.
+	if err := validateAndWarmFile(fr, sum, cfg, lm); err != nil {
+		return nil, err
+	}
+
+	eng := sim.New()
+	if cfg.HeapScheduler {
+		eng = sim.NewWithHeap()
+	}
+	ctl, err := controller.New(eng, ccfg)
+	if err != nil {
+		return nil, err
+	}
+
+	feeder := &fileFeeder{ctl: ctl, cur: fr.Cursor()}
+	eng.SetFeeder(feeder)
+	traceEnd := sim.Time(sum.Duration)
+	if lm != nil {
+		scheduleRebalances(eng, ctl, lm, traceEnd)
+	}
+	if err := eng.RunContext(ctx); err != nil {
+		return nil, err
+	}
+	if err := feeder.cur.Err(); err != nil {
+		return nil, fmt.Errorf("core: streaming %s: %w", cfg.TraceFile, err)
+	}
+
+	window := cfg.MeterWindow
+	if window == 0 {
+		window = sum.Duration + 2*sim.Millisecond
+	}
+	end := ctl.Finish(sim.Time(window))
+	res.Report = ctl.Report(cfg.Scheme, end)
+	if lm != nil {
+		res.MigratedPages = lm.MigratedPages
+		res.MigrationEnergyJ = lm.MigrationEnergyJ
+		res.Rebalances = lm.Rebalances
+	}
+	return res, nil
+}
+
+// validateAndWarmFile streams the container once, applying the same
+// semantic checks (and the same error wording) the in-memory path
+// applies before a run — zero-page DMAs and page-range violations,
+// with the codec already enforcing time order and field ranges — and
+// feeding the first WarmupFraction of the records' DMA references to
+// the layout manager exactly as warmup does.
+func validateAndWarmFile(fr *trace.FileReader, sum trace.FileSummary, cfg Config, lm *layout.Manager) error {
+	maxPage := memsys.PageID(cfg.Geometry.TotalPages())
+	warm := int64(0)
+	if lm != nil {
+		warm = int64(cfg.WarmupFraction * float64(sum.Records))
+	}
+	cur := fr.Cursor()
+	for i := int64(0); ; i++ {
+		r, ok := cur.Next()
+		if !ok {
+			break
+		}
+		end := r.Page
+		if r.Kind.IsDMA() {
+			if r.Pages == 0 {
+				return fmt.Errorf("trace %q: record %d is a zero-page DMA", sum.Name, i)
+			}
+			end += memsys.PageID(r.Pages)
+		} else {
+			end++
+		}
+		if r.Page < 0 || end > maxPage {
+			return fmt.Errorf("core: record %d touches pages [%d,%d) outside memory of %d pages",
+				i, r.Page, end, maxPage)
+		}
+		if i < warm && r.Kind.IsDMA() {
+			for p := 0; p < int(r.Pages); p++ {
+				lm.Observe(r.Page + memsys.PageID(p))
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		return err
+	}
+	if lm != nil {
+		lm.Rebalance(nil)
+		lm.ResetCosts()
+	}
+	return nil
+}
+
+// fileFeeder is traceFeeder over a .dmt cursor: the engine's run loop
+// pulls arrival batches straight from the file's chunk stream, so
+// arrivals bypass the scheduler and at most one decoded chunk is
+// resident. Dispatch order and same-instant priority match the
+// in-memory feeder exactly, so the simulation is bit-identical.
+//
+// A corrupted container surfaces as an exhausted cursor mid-run; the
+// caller checks cur.Err after the engine stops (a feeder has no error
+// channel of its own).
+type fileFeeder struct {
+	ctl    *controller.Controller
+	cur    *trace.Cursor
+	nextID int64
+}
+
+func (f *fileFeeder) Peek() (sim.Time, int8, bool) {
+	r, ok := f.cur.Peek()
+	if !ok {
+		return 0, 0, false
+	}
+	return r.Time, feederPrio, true
+}
+
+func (f *fileFeeder) Fire(e *sim.Engine) {
+	now := e.Now()
+	for {
+		r, ok := f.cur.Peek()
+		if !ok || r.Time != now {
+			return
+		}
+		f.cur.Advance()
+		if r.Kind.IsDMA() {
+			f.ctl.StartTransfer(dma.FromRecord(f.nextID, r))
+			f.nextID++
+		} else {
+			f.ctl.ProcAccess(r.Page)
+		}
+	}
+}

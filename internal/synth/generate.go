@@ -120,49 +120,20 @@ func (c StConfig) validate() error {
 // GenerateSt produces a Synthetic-St trace. Page popularity is Zipf
 // over a randomly permuted page population, so hot pages are scattered
 // through the physical address space (the layout technique, not the
-// generator, is responsible for clustering them).
+// generator, is responsible for clustering them). GenerateSt is the
+// in-memory collector over GenerateStTo; use the latter to stream an
+// hour-scale trace straight to a trace.Writer.
 func GenerateSt(c StConfig) (*trace.Trace, error) {
-	if err := c.validate(); err != nil {
-		return nil, err
-	}
-	if c.Sizes == nil {
-		c.Sizes = DefaultSizes()
-	}
-	rng := NewRNG(c.Seed)
-	zipf := NewZipf(c.Pages, c.Alpha)
-	perm := rng.Perm(c.Pages)
-	sizes := newSizeSampler(c.Sizes)
-
-	tr := &trace.Trace{Name: "Synthetic-St"}
 	// Synthetic workloads have no server model behind them; declare the
 	// assumed client-perceived response time the CP-Limit transform
 	// should calibrate against (a typical 1 ms data-server budget).
-	tr.Meta.MeanClientResponse = sim.Millisecond
-	tr.Meta.TransfersPerClientRequest = 1
-	meanGap := 1e-3 / c.RatePerMs // seconds between transfers
-	now := sim.Time(0)
-	for {
-		now = now.Add(sim.FromSeconds(rng.Exp(meanGap)))
-		if now > sim.Time(c.Duration) {
-			break
-		}
-		kind, src := trace.DMARead, trace.SrcNetwork
-		if rng.Float64() < c.DiskFraction {
-			kind, src = trace.DMAWrite, trace.SrcDisk
-		}
-		pages := sizes.sample(rng)
-		start := perm[zipf.Sample(rng)]
-		if start+pages > c.Pages {
-			start = c.Pages - pages
-		}
-		tr.Records = append(tr.Records, trace.Record{
-			Time:   now,
-			Kind:   kind,
-			Source: src,
-			Bus:    uint8(rng.Intn(c.Buses)),
-			Pages:  uint16(pages),
-			Page:   memsys.PageID(start),
-		})
+	tr := &trace.Trace{Name: "Synthetic-St", Meta: SyntheticMeta()}
+	err := GenerateStTo(c, func(r trace.Record) error {
+		tr.Records = append(tr.Records, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return tr, nil
 }

@@ -1,0 +1,110 @@
+package synth
+
+import (
+	"errors"
+	"testing"
+
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+// collect drains a streaming generator into a slice.
+func collect(t *testing.T, gen func(func(trace.Record) error) error) []trace.Record {
+	t.Helper()
+	var out []trace.Record
+	if err := gen(func(r trace.Record) error {
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("streaming generator: %v", err)
+	}
+	return out
+}
+
+func requireSameRecords(t *testing.T, want, got []trace.Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("record count: streamed %d, reference %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("record %d: streamed %+v, reference %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestGenerateStToMatchesGenerateSt pins the streamed St record
+// sequence to the in-memory reference, including the mixed-size
+// configuration.
+func TestGenerateStToMatchesGenerateSt(t *testing.T) {
+	for _, cfg := range []StConfig{
+		DefaultSt(),
+		func() StConfig { c := DefaultSt(); c.Seed = 7; c.Sizes = MixedSizes(); return c }(),
+		func() StConfig { c := DefaultSt(); c.DiskFraction = 1; c.Duration = 10 * sim.Millisecond; return c }(),
+	} {
+		ref, err := GenerateSt(cfg)
+		if err != nil {
+			t.Fatalf("GenerateSt: %v", err)
+		}
+		got := collect(t, func(emit func(trace.Record) error) error { return GenerateStTo(cfg, emit) })
+		requireSameRecords(t, ref.Records, got)
+	}
+}
+
+// TestGenerateDbToMatchesGenerateDb pins the streamed Db merge order to
+// the reference implementation (trace.Merge's stable sort) in both the
+// Poisson and per-transfer-burst processor modes.
+func TestGenerateDbToMatchesGenerateDb(t *testing.T) {
+	burst := DefaultDb()
+	burst.ProcPerTransfer = 10
+	burst.ProcRatePerMs = 0
+	shortPoisson := DefaultDb()
+	shortPoisson.St.Duration = 10 * sim.Millisecond
+	for name, cfg := range map[string]DbConfig{
+		"poisson":       DefaultDb(),
+		"poisson-short": shortPoisson,
+		"per-transfer":  burst,
+	} {
+		t.Run(name, func(t *testing.T) {
+			ref, err := GenerateDb(cfg)
+			if err != nil {
+				t.Fatalf("GenerateDb: %v", err)
+			}
+			got := collect(t, func(emit func(trace.Record) error) error { return GenerateDbTo(cfg, emit) })
+			requireSameRecords(t, ref.Records, got)
+		})
+	}
+}
+
+// TestStreamEmitErrors pins error propagation: an emit failure aborts
+// generation and surfaces as-is, and invalid configs fail before any
+// record is emitted.
+func TestStreamEmitErrors(t *testing.T) {
+	boom := errors.New("sink full")
+	n := 0
+	err := GenerateStTo(DefaultSt(), func(trace.Record) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("emit error not propagated: %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("generation continued after emit error: %d emits", n)
+	}
+	if err := GenerateDbTo(DefaultDb(), func(trace.Record) error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("Db emit error not propagated: %v", err)
+	}
+
+	bad := DefaultSt()
+	bad.RatePerMs = -1
+	if err := GenerateStTo(bad, func(trace.Record) error { t.Fatal("emit on invalid config"); return nil }); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+	if err := GenerateDbTo(DbConfig{St: bad}, func(trace.Record) error { t.Fatal("emit on invalid config"); return nil }); err == nil {
+		t.Fatal("invalid Db config accepted")
+	}
+}

@@ -3,6 +3,7 @@ package dmamem
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"dmamem/internal/memsys"
@@ -75,13 +76,10 @@ const (
 	FromDisk
 )
 
-// AppendDMA appends a DMA transfer of pages consecutive pages starting
-// at page, carried by I/O bus bus. Page size is the third value of
-// MemoryGeometry (8 KB). Records must be appended in time order;
-// toMemory selects the direction (true = device writes memory).
-// Internally at is stored in integer picoseconds, the simulator's
-// native resolution.
-func (tr *Trace) AppendDMA(at time.Duration, src DMASource, bus int, page, pages int, toMemory bool) error {
+// makeDMARecord validates and builds one DMA record — the shared core
+// of Trace.AppendDMA and TraceWriter.AppendDMA, so in-memory and
+// file-streamed traces enforce identical field ranges.
+func makeDMARecord(at time.Duration, src DMASource, bus int, page, pages int, toMemory bool) (trace.Record, error) {
 	kind := trace.DMARead
 	if toMemory {
 		kind = trace.DMAWrite
@@ -91,18 +89,50 @@ func (tr *Trace) AppendDMA(at time.Duration, src DMASource, bus int, page, pages
 		s = trace.SrcDisk
 	}
 	if pages <= 0 || pages > 1<<15 {
-		return fmt.Errorf("dmamem: transfer of %d pages", pages)
+		return trace.Record{}, fmt.Errorf("dmamem: transfer of %d pages", pages)
 	}
 	if bus < 0 || bus > 255 {
-		return fmt.Errorf("dmamem: bus %d", bus)
+		return trace.Record{}, fmt.Errorf("dmamem: bus %d", bus)
+	}
+	if page < 0 {
+		return trace.Record{}, fmt.Errorf("dmamem: negative page %d", page)
+	}
+	return trace.Record{
+		Time: fromStd(at), Kind: kind, Source: s,
+		Bus: uint8(bus), Pages: uint16(pages), Page: memsys.PageID(page),
+	}, nil
+}
+
+// makeProcRecord validates and builds one processor-access record.
+func makeProcRecord(at time.Duration, page int, write bool) (trace.Record, error) {
+	kind := trace.ProcRead
+	if write {
+		kind = trace.ProcWrite
+	}
+	if page < 0 {
+		return trace.Record{}, fmt.Errorf("dmamem: negative page %d", page)
+	}
+	return trace.Record{
+		Time: fromStd(at), Kind: kind, Source: trace.SrcProcessor,
+		Page: memsys.PageID(page),
+	}, nil
+}
+
+// AppendDMA appends a DMA transfer of pages consecutive pages starting
+// at page, carried by I/O bus bus. Page size is the third value of
+// MemoryGeometry (8 KB). Records must be appended in time order;
+// toMemory selects the direction (true = device writes memory).
+// Internally at is stored in integer picoseconds, the simulator's
+// native resolution.
+func (tr *Trace) AppendDMA(at time.Duration, src DMASource, bus int, page, pages int, toMemory bool) error {
+	r, err := makeDMARecord(at, src, bus, page, pages, toMemory)
+	if err != nil {
+		return err
 	}
 	if err := tr.checkAppend(at, page); err != nil {
 		return err
 	}
-	tr.t.Records = append(tr.t.Records, trace.Record{
-		Time: fromStd(at), Kind: kind, Source: s,
-		Bus: uint8(bus), Pages: uint16(pages), Page: memsys.PageID(page),
-	})
+	tr.t.Records = append(tr.t.Records, r)
 	return nil
 }
 
@@ -122,17 +152,14 @@ func (tr *Trace) checkAppend(at time.Duration, page int) error {
 
 // AppendProcessorAccess appends one 64-byte processor access to page.
 func (tr *Trace) AppendProcessorAccess(at time.Duration, page int, write bool) error {
-	kind := trace.ProcRead
-	if write {
-		kind = trace.ProcWrite
+	r, err := makeProcRecord(at, page, write)
+	if err != nil {
+		return err
 	}
 	if err := tr.checkAppend(at, page); err != nil {
 		return err
 	}
-	tr.t.Records = append(tr.t.Records, trace.Record{
-		Time: fromStd(at), Kind: kind, Source: trace.SrcProcessor,
-		Page: memsys.PageID(page),
-	})
+	tr.t.Records = append(tr.t.Records, r)
 	return nil
 }
 
@@ -144,7 +171,9 @@ func (tr *Trace) SetClientResponse(mean time.Duration, transfersPerRequest float
 	tr.t.Meta.TransfersPerClientRequest = transfersPerRequest
 }
 
-// Save stores the trace in the compact binary format.
+// Save stores the trace in the legacy fixed-width binary format. New
+// code should prefer SaveFile, which writes the columnar .dmt
+// container the simulator can replay from disk in bounded memory.
 func (tr *Trace) Save(w io.Writer) error { return tr.t.WriteBinary(w) }
 
 // ReadTrace loads a trace written by Save.
@@ -154,6 +183,144 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 		return nil, err
 	}
 	return &Trace{t: t}, nil
+}
+
+// SaveFile stores the trace as a .dmt container at path. The file can
+// be replayed without loading it into memory by setting
+// Simulation.TraceFile, inspected with StatTraceFile, or loaded back
+// with ReadTraceFile.
+func (tr *Trace) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.t.WriteDMT(f, trace.WriterOptions{}); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile loads a .dmt container fully into memory — the inverse
+// of SaveFile, for traces small enough to hold. Long traces should be
+// replayed in place via Simulation.TraceFile instead.
+func ReadTraceFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := trace.DecodeDMT(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &Trace{t: t}, nil
+}
+
+// TraceFileInfo describes a .dmt container without reading its
+// records: everything comes from the header and footer, so statting an
+// hour-scale trace is instant.
+type TraceFileInfo struct {
+	// Name is the trace's label.
+	Name string
+	// Records is the total record count.
+	Records int64
+	// DMATransfers is the number of DMA transfer records; DMAPages is
+	// the total pages they move.
+	DMATransfers int64
+	DMAPages     int64
+	// Duration is the simulated span the trace covers.
+	Duration time.Duration
+	// ChunkRecords is the container's chunk size (records per chunk);
+	// Chunks is the number of chunks. Replaying the file keeps at most
+	// one decoded chunk in memory.
+	ChunkRecords int
+	Chunks       int64
+}
+
+// StatTraceFile reads a .dmt container's self-description from its
+// header and footer without scanning the records.
+func StatTraceFile(path string) (TraceFileInfo, error) {
+	fr, err := trace.OpenDMTFile(path)
+	if err != nil {
+		return TraceFileInfo{}, err
+	}
+	defer fr.Close()
+	sum := fr.Summary()
+	return TraceFileInfo{
+		Name:         sum.Name,
+		Records:      sum.Records,
+		DMATransfers: sum.DMATransfers,
+		DMAPages:     sum.DMAPages,
+		Duration:     time.Duration(sum.Duration.Seconds() * float64(time.Second)),
+		ChunkRecords: sum.ChunkRecords,
+		Chunks:       sum.Chunks,
+	}, nil
+}
+
+// TraceWriter streams a trace straight to a .dmt container on disk,
+// one record at a time, holding at most one chunk in memory: the way
+// to produce traces far larger than RAM. Records must be appended in
+// time order, exactly as with Trace's append methods; Close finalizes
+// the container (an unclosed file is truncated and will be rejected on
+// replay).
+type TraceWriter struct {
+	f *os.File
+	w *trace.Writer
+}
+
+// CreateTraceFile creates a .dmt container at path and returns a
+// streaming writer for a trace called name. The caller must Close it.
+func CreateTraceFile(path, name string) (*TraceWriter, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := trace.NewWriter(f, name, trace.WriterOptions{})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &TraceWriter{f: f, w: w}, nil
+}
+
+// AppendDMA streams one DMA transfer record; the arguments mean the
+// same as Trace.AppendDMA's.
+func (tw *TraceWriter) AppendDMA(at time.Duration, src DMASource, bus int, page, pages int, toMemory bool) error {
+	r, err := makeDMARecord(at, src, bus, page, pages, toMemory)
+	if err != nil {
+		return err
+	}
+	return tw.w.Append(r)
+}
+
+// AppendProcessorAccess streams one 64-byte processor access record.
+func (tw *TraceWriter) AppendProcessorAccess(at time.Duration, page int, write bool) error {
+	r, err := makeProcRecord(at, page, write)
+	if err != nil {
+		return err
+	}
+	return tw.w.Append(r)
+}
+
+// SetClientResponse declares the workload's mean client-perceived
+// response time and critical-path transfer count, stored in the
+// container's footer for the CP-Limit calibration. It may be called at
+// any time before Close.
+func (tw *TraceWriter) SetClientResponse(mean time.Duration, transfersPerRequest float64) {
+	tw.w.SetMeta(trace.Meta{
+		MeanClientResponse:        fromStdDur(mean),
+		TransfersPerClientRequest: transfersPerRequest,
+	})
+}
+
+// Close finalizes the container (footer, checksum) and closes the
+// file. A TraceWriter that is never closed leaves an unreadable file.
+func (tw *TraceWriter) Close() error {
+	if err := tw.w.Close(); err != nil {
+		tw.f.Close()
+		return err
+	}
+	return tw.f.Close()
 }
 
 func fromStd(d time.Duration) sim.Time        { return sim.Time(d.Nanoseconds()) * 1000 }

@@ -1,0 +1,153 @@
+package dmamem
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTraceFileRoundTrip pins the public record-then-replay path: a
+// trace streamed through CreateTraceFile must stat, load and simulate
+// identically to the same trace built in memory and SaveFile'd.
+func TestTraceFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	streamed := filepath.Join(dir, "streamed.dmt")
+	saved := filepath.Join(dir, "saved.dmt")
+
+	mem := NewTrace("roundtrip")
+	tw, err := CreateTraceFile(streamed, "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, pageBytes := MemoryGeometry()
+	if pageBytes <= 0 {
+		t.Fatal("bad geometry")
+	}
+	for i := 0; i < 2000; i++ {
+		at := time.Duration(i) * 40 * time.Microsecond
+		page := (i * 13) % 1000
+		if i%5 == 4 {
+			if err := mem.AppendProcessorAccess(at, page, i%2 == 0); err != nil {
+				t.Fatal(err)
+			}
+			if err := tw.AppendProcessorAccess(at, page, i%2 == 0); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		src := FromNetwork
+		if i%3 == 0 {
+			src = FromDisk
+		}
+		if err := mem.AppendDMA(at, src, i%3, page, 1+i%2, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := tw.AppendDMA(at, src, i%3, page, 1+i%2, i%2 == 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mem.SetClientResponse(time.Millisecond, 2)
+	tw.SetClientResponse(time.Millisecond, 2)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.SaveFile(saved); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, path := range []string{streamed, saved} {
+		info, err := StatTraceFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if info.Name != "roundtrip" || info.Records != 2000 {
+			t.Fatalf("%s: info %+v", path, info)
+		}
+		if info.Duration != mem.Duration() {
+			t.Fatalf("%s: duration %v, want %v", path, info.Duration, mem.Duration())
+		}
+		loaded, err := ReadTraceFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if loaded.Len() != mem.Len() || loaded.Name() != mem.Name() {
+			t.Fatalf("%s: loaded %d records as %q", path, loaded.Len(), loaded.Name())
+		}
+	}
+
+	// The headline gate at the public level: replaying the file must
+	// report identically to simulating the in-memory trace.
+	s := Simulation{Technique: TemporalAlignment, CPLimit: 0.10}
+	memRep, err := Run(s, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.TraceFile = streamed
+	fileRep, err := Run(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(memRep, fileRep) {
+		t.Fatalf("file-backed report differs:\nmem:  %+v\nfile: %+v", memRep, fileRep)
+	}
+
+	cmp, err := Compare(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memCmp, err := Compare(Simulation{Technique: TemporalAlignment, CPLimit: 0.10}, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(memCmp, cmp) {
+		t.Fatal("file-backed comparison differs from in-memory")
+	}
+}
+
+// TestTraceFileErrors pins the public failure modes.
+func TestTraceFileErrors(t *testing.T) {
+	if _, err := Run(Simulation{}, nil); err == nil || !strings.Contains(err.Error(), "TraceFile") {
+		t.Fatalf("nil trace without TraceFile: %v", err)
+	}
+	tr := NewTrace("x")
+	if err := tr.AppendDMA(0, FromNetwork, 0, 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "x.dmt")
+	if err := tr.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Simulation{TraceFile: path}, tr); err == nil {
+		t.Fatal("both trace and TraceFile accepted")
+	}
+	if _, err := StatTraceFile(filepath.Join(t.TempDir(), "missing.dmt")); err == nil {
+		t.Fatal("missing file statted")
+	}
+	if _, err := ReadTraceFile(path); err != nil {
+		t.Fatalf("ReadTraceFile: %v", err)
+	}
+
+	// TraceWriter enforces the same field validation as Trace.
+	tw, err := CreateTraceFile(filepath.Join(t.TempDir(), "w.dmt"), "w")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tw.Close()
+	if err := tw.AppendDMA(0, FromNetwork, -1, 0, 1, true); err == nil {
+		t.Fatal("negative bus accepted")
+	}
+	if err := tw.AppendDMA(0, FromNetwork, 0, -1, 1, true); err == nil {
+		t.Fatal("negative page accepted")
+	}
+	if err := tw.AppendDMA(0, FromNetwork, 0, 0, 0, true); err == nil {
+		t.Fatal("zero-page transfer accepted")
+	}
+	if err := tw.AppendDMA(time.Millisecond, FromNetwork, 0, 0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tw.AppendDMA(time.Microsecond, FromNetwork, 0, 0, 1, true); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+}
