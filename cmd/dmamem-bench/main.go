@@ -5,6 +5,7 @@
 //
 //	dmamem-bench [-duration 100ms] [-seed 1] [-parallel N] [-timing]
 //	             [-scheduler wheel|heap] [-feeder batched|per-event]
+//	             [-workers N]
 //	             [-shards N] [-shard-addrs host:port,...]
 //	             [-shard-worker] [-shard-listen addr]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
@@ -30,6 +31,13 @@
 // the wall-clock changes, which makes the flags a self-service
 // cross-check and a profiling aid. -cpuprofile and -memprofile write
 // pprof profiles of the whole run for `go tool pprof`.
+//
+// -workers N parallelises WITHIN each simulation: every run uses the
+// epoch-barrier parallel engine with N event-loop goroutines (one per
+// memory channel, capped at the channel count) instead of the serial
+// reference engine. Results stay byte-identical at any worker count.
+// This is orthogonal to -parallel, which fans out independent runs.
+// Both flags must be at least 1; -workers 1 keeps the serial engine.
 //
 // -shards N runs the sweep figures (5, 8, 9, 10) through the
 // process-sharded executor: the grid is partitioned by sweep point
@@ -73,6 +81,7 @@ func realMain() int {
 	seed := flag.Uint64("seed", 1, "generator seed")
 	fig := flag.String("fig", "all", "which figure/table to regenerate")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for independent simulation runs (1 = sequential)")
+	workers := flag.Int("workers", 1, "event-loop goroutines inside each simulation (1 = serial reference engine)")
 	timing := flag.Bool("timing", false, "print a per-run wall-clock timing summary to stderr")
 	scheduler := flag.String("scheduler", "wheel", "engine event store: wheel (timer wheel) or heap (reference binary heap)")
 	feeder := flag.String("feeder", "batched", "trace delivery: batched (cursor feeder) or per-event")
@@ -88,6 +97,11 @@ func realMain() int {
 	replayCP := flag.Float64("replay-cp-limit", 0.10, "CP-Limit for the -replay technique run")
 	replayGroups := flag.Int("replay-groups", 2, "PL popularity groups for -replay (0 = DMA-TA only)")
 	flag.Parse()
+
+	if err := validateConcurrency(*parallel, *workers); err != nil {
+		fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -157,6 +171,7 @@ func realMain() int {
 	s := experiments.NewSuite(fromStd(*duration), *seed)
 	s.DbDuration = fromStd(*dbDuration)
 	s.Runner = runner
+	s.Workers = engineWorkers(*workers)
 	switch *scheduler {
 	case "wheel":
 	case "heap":
@@ -361,6 +376,30 @@ func realMain() int {
 
 func fromStd(d time.Duration) sim.Duration {
 	return sim.Duration(d.Nanoseconds()) * sim.Nanosecond
+}
+
+// validateConcurrency rejects non-positive -parallel/-workers values
+// up front: both are goroutine counts, and 0 or a negative count would
+// otherwise surface as a hang (a runner with no workers) or as a
+// confusing core error deep inside the first figure.
+func validateConcurrency(parallel, workers int) error {
+	if parallel <= 0 {
+		return fmt.Errorf("-parallel %d must be at least 1 (goroutines fanning out independent runs)", parallel)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("-workers %d must be at least 1 (1 selects the serial reference engine)", workers)
+	}
+	return nil
+}
+
+// engineWorkers maps the -workers flag onto core.Config.Workers: 1
+// keeps the default serial reference engine, higher counts select the
+// epoch-barrier parallel engine with that many event-loop goroutines.
+func engineWorkers(workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	return workers
 }
 
 // parseChannels turns the -channels flag into the GridSpec.Channels

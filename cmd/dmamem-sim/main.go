@@ -14,6 +14,9 @@
 //	  -groups 2          popularity groups for PL
 //	  -compare           also run the baseline and report savings
 //	  -parallel N        run the baseline and technique concurrently
+//	  -workers N         event-loop goroutines inside each simulation
+//	                     (1 = serial reference engine; byte-identical
+//	                     reports at any count)
 //	  -channels N        memory channels (0 = legacy single-channel)
 //	  -stripe-pages N    pages per channel stripe (with -channels)
 //	  -channel-bw B      per-channel bandwidth cap, bytes/s (with -channels)
@@ -55,9 +58,14 @@ func main() {
 	compare := flag.Bool("compare", true, "also run the baseline and report savings")
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the -compare pair (1 = sequential)")
+	workers := flag.Int("workers", 1, "event-loop goroutines inside each simulation (1 = serial reference engine)")
 	shardWorker := flag.Bool("shard-worker", false, "serve one sweep-shard session on stdin/stdout and exit")
 	shardListen := flag.String("shard-listen", "", "serve sweep-shard sessions on this TCP address until interrupted")
 	flag.Parse()
+
+	if err := validateConcurrency(*parallel, *workers); err != nil {
+		fatal(err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -79,6 +87,7 @@ func main() {
 	s := dmamem.Simulation{
 		CPLimit: *cpLimit, PLGroups: *groups,
 		Channels: *channels, ChannelStripePages: *stripePages, ChannelBandwidth: *channelBW,
+		Workers: engineWorkers(*workers),
 	}
 	var tr *dmamem.Trace
 	if *traceFile != "" && isDMT(*traceFile) {
@@ -186,6 +195,30 @@ func loadTrace(file, workload string, d time.Duration, seed uint64) (*dmamem.Tra
 		return dmamem.DatabaseServerTrace(dmamem.ServerOptions{Duration: d, Seed: seed})
 	}
 	return nil, fmt.Errorf("unknown workload %q", workload)
+}
+
+// validateConcurrency rejects non-positive -parallel/-workers values
+// up front: both are goroutine counts, and 0 or a negative count would
+// otherwise hang the -compare pair or surface as a confusing core
+// error mid-run.
+func validateConcurrency(parallel, workers int) error {
+	if parallel <= 0 {
+		return fmt.Errorf("-parallel %d must be at least 1 (goroutines for the -compare pair)", parallel)
+	}
+	if workers <= 0 {
+		return fmt.Errorf("-workers %d must be at least 1 (1 selects the serial reference engine)", workers)
+	}
+	return nil
+}
+
+// engineWorkers maps the -workers flag onto Simulation.Workers: 1
+// keeps the default serial reference engine, higher counts select the
+// epoch-barrier parallel engine with that many event-loop goroutines.
+func engineWorkers(workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	return workers
 }
 
 func fatal(err error) {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateConcurrency pins the rejection of non-positive
+// -parallel/-workers values and the wording the user sees: the flag
+// name, the bad value, and what the minimum means.
+func TestValidateConcurrency(t *testing.T) {
+	cases := []struct {
+		parallel, workers int
+		wantErr           string
+	}{
+		{1, 1, ""},
+		{8, 4, ""},
+		{0, 1, "-parallel 0 must be at least 1"},
+		{-1, 1, "-parallel -1 must be at least 1"},
+		{1, 0, "-workers 0 must be at least 1"},
+		{1, -4, "-workers -4 must be at least 1"},
+		{-1, -1, "-parallel -1 must be at least 1"},
+	}
+	for _, tc := range cases {
+		err := validateConcurrency(tc.parallel, tc.workers)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateConcurrency(%d, %d) = %v, want nil", tc.parallel, tc.workers, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("validateConcurrency(%d, %d) = %v, want error containing %q",
+				tc.parallel, tc.workers, err, tc.wantErr)
+		}
+	}
+}
+
+// TestEngineWorkers pins the flag→config mapping: -workers 1 keeps
+// Simulation.Workers at 0 (the serial reference engine), higher counts
+// pass through to the parallel engine.
+func TestEngineWorkers(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{1, 0}, {2, 2}, {8, 8}} {
+		if got := engineWorkers(tc.in); got != tc.want {
+			t.Errorf("engineWorkers(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -145,6 +145,15 @@ type Simulation struct {
 	// running the same records from memory. Setting both a trace and
 	// TraceFile is an error.
 	TraceFile string
+	// Workers selects the parallel barrier engine: zero keeps the
+	// legacy serial event loop; any positive value runs one event loop
+	// per channel under deterministic epoch barriers, executed by at
+	// most Workers goroutines. Reports are independent of the worker
+	// count; on a single channel they are additionally bit-identical to
+	// the serial engine. Multi-channel parallel runs reject
+	// TemporalAlignmentWithLayout (the layout state is global, not
+	// per-channel). Negative values are rejected.
+	Workers int
 }
 
 // Validate checks every field against its legal range and returns a
@@ -199,6 +208,9 @@ func (s Simulation) Validate() error {
 	if (s.ChannelStripePages != 0 || s.ChannelBandwidth != 0) && s.Channels == 0 {
 		return fmt.Errorf("dmamem: ChannelStripePages/ChannelBandwidth need Channels set")
 	}
+	if s.Workers < 0 {
+		return fmt.Errorf("dmamem: negative Workers %d; 0 selects the serial engine", s.Workers)
+	}
 	if s.Channels != 0 {
 		topo := memsys.Topology{
 			Channels:         s.Channels,
@@ -218,6 +230,7 @@ func (s Simulation) coreConfig() (core.Config, error) {
 		return cfg, err
 	}
 	cfg.TraceFile = s.TraceFile
+	cfg.Workers = s.Workers
 	if s.Buses != 0 || s.BusBandwidth != 0 {
 		bc := bus.DefaultConfig()
 		if s.Buses != 0 {

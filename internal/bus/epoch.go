@@ -1,0 +1,38 @@
+package bus
+
+import "fmt"
+
+// EpochShares computes, for each shared I/O bus, a demand-weighted
+// split of its bandwidth across channel partitions. counts[ch][b] is
+// the number of flows channel partition ch currently runs on bus b
+// (as reported by its controller at the epoch barrier); caps[b] is the
+// bus's full capacity in bytes/s. On return out[ch][b] holds the slice
+// of bus b granted to partition ch for the next epoch.
+//
+// Each partition's weight on a bus is its flow count plus one: the +1
+// keeps a reserve share for idle partitions, so a transfer arriving
+// mid-epoch on a previously idle channel is never starved to a zero
+// cap (the Allocator rejects non-positive capacities on principle).
+// The arithmetic is a fixed sequence of float operations over
+// deterministic integer counts, so the shares — and therefore the
+// whole parallel simulation — are independent of the worker count.
+func EpochShares(caps []float64, counts [][]int, out [][]float64) {
+	if len(out) != len(counts) {
+		panic(fmt.Sprintf("bus: EpochShares got %d output rows for %d partitions", len(out), len(counts)))
+	}
+	for ch := range counts {
+		if len(counts[ch]) != len(caps) || len(out[ch]) != len(caps) {
+			panic(fmt.Sprintf("bus: EpochShares partition %d has %d counts and %d outputs for %d buses",
+				ch, len(counts[ch]), len(out[ch]), len(caps)))
+		}
+	}
+	for b, cap := range caps {
+		total := 0
+		for ch := range counts {
+			total += counts[ch][b] + 1
+		}
+		for ch := range counts {
+			out[ch][b] = cap * float64(counts[ch][b]+1) / float64(total)
+		}
+	}
+}

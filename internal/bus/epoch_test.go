@@ -1,0 +1,86 @@
+package bus
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEpochSharesWeighting(t *testing.T) {
+	caps := []float64{1.064e9, 1.064e9, 1.064e9}
+	counts := [][]int{
+		{3, 0, 1}, // partition 0
+		{1, 0, 0}, // partition 1
+	}
+	out := [][]float64{make([]float64, 3), make([]float64, 3)}
+	EpochShares(caps, counts, out)
+	// Bus 0: weights 4 and 2 of 6.
+	if got, want := out[0][0], caps[0]*4/6; math.Abs(got-want) > 1 {
+		t.Errorf("out[0][0] = %g, want %g", got, want)
+	}
+	if got, want := out[1][0], caps[0]*2/6; math.Abs(got-want) > 1 {
+		t.Errorf("out[1][0] = %g, want %g", got, want)
+	}
+	// Idle bus 1: even split, never zero.
+	if got, want := out[0][1], caps[1]/2; math.Abs(got-want) > 1 {
+		t.Errorf("out[0][1] = %g, want %g", got, want)
+	}
+	for ch := range out {
+		for b, s := range out[ch] {
+			if s <= 0 {
+				t.Errorf("partition %d bus %d share %g not positive", ch, b, s)
+			}
+		}
+	}
+	// Shares of every bus sum back to its capacity.
+	for b := range caps {
+		sum := 0.0
+		for ch := range out {
+			sum += out[ch][b]
+		}
+		if math.Abs(sum-caps[b]) > 1 {
+			t.Errorf("bus %d shares sum to %g, capacity %g", b, sum, caps[b])
+		}
+	}
+}
+
+func TestEpochSharesShapePanics(t *testing.T) {
+	caps := []float64{1e9}
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("row mismatch", func() {
+		EpochShares(caps, [][]int{{0}}, [][]float64{})
+	})
+	expectPanic("count width", func() {
+		EpochShares(caps, [][]int{{0, 0}}, [][]float64{{0}})
+	})
+	expectPanic("out width", func() {
+		EpochShares(caps, [][]int{{0}}, [][]float64{{0, 0}})
+	})
+}
+
+func TestSetBusCaps(t *testing.T) {
+	a := NewAllocator([]float64{1e9, 1e9}, 3.2e9)
+	a.SetBusCaps([]float64{5e8, 2e8})
+	rates := a.Allocate([]Flow{{Bus: 0, Chip: 0}, {Bus: 1, Chip: 1}})
+	if math.Abs(rates[0]-5e8) > 1 || math.Abs(rates[1]-2e8) > 1 {
+		t.Errorf("rates after SetBusCaps = %v, want [5e8 2e8]", rates)
+	}
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("length mismatch", func() { a.SetBusCaps([]float64{1e9}) })
+	expectPanic("nonpositive cap", func() { a.SetBusCaps([]float64{1e9, 0}) })
+}

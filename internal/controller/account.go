@@ -61,7 +61,7 @@ const (
 func (c *Controller) accountAll(now sim.Time) {
 	if c.fullScan {
 		for _, cs := range c.chips {
-			if !cs.chip.Resident() || cs.chip.State() != energy.Active {
+			if cs == nil || !cs.chip.Resident() || cs.chip.State() != energy.Active {
 				continue
 			}
 			c.accountChip(cs, now)

@@ -100,6 +100,12 @@ type Config struct {
 	// paper's RDRAM part. Geometry.ChipBandwidth should match the
 	// spec's bandwidth.
 	MemSpec *energy.Spec
+	// Partition, when non-nil, restricts this controller to the chips
+	// of one topology channel: foreign chips are never instantiated and
+	// addressing one is a programming error that panics loudly. The
+	// parallel barrier engine builds one partitioned controller per
+	// channel, each on its own sim.Engine.
+	Partition *Partition
 	// FullScanAccounting disables the dirty-set optimization and
 	// charges every resident-Active chip on every event, as the
 	// original implementation did. Reports are bit-identical either
@@ -109,6 +115,18 @@ type Config struct {
 	FullScanAccounting bool
 }
 
+// Partition configures a channel-partitioned controller for the
+// parallel barrier engine.
+type Partition struct {
+	// Channel is the topology channel this controller owns.
+	Channel int
+	// BusCaps, when non-nil, is the partition's initial share of every
+	// shared I/O bus in bytes/s (it is revised at each epoch barrier
+	// via Resync). Nil grants the full bus bandwidth, which is only
+	// correct when this partition is the buses' sole user.
+	BusCaps []float64
+}
+
 // Validate reports a descriptive error for unusable configs.
 func (c *Config) Validate() error {
 	if err := c.Geometry.Validate(); err != nil {
@@ -116,6 +134,14 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Topology.Validate(c.Geometry); err != nil {
 		return err
+	}
+	if p := c.Partition; p != nil {
+		if n := c.Topology.NumChannels(); p.Channel < 0 || p.Channel >= n {
+			return fmt.Errorf("controller: partition channel %d of %d", p.Channel, n)
+		}
+		if p.BusCaps != nil && len(p.BusCaps) != c.Buses.Count {
+			return fmt.Errorf("controller: partition has %d bus caps for %d buses", len(p.BusCaps), c.Buses.Count)
+		}
 	}
 	if err := c.Buses.Validate(); err != nil {
 		return err
@@ -291,6 +317,9 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 	for i := range busCaps {
 		busCaps[i] = cfg.Buses.Bandwidth
 	}
+	if cfg.Partition != nil && cfg.Partition.BusCaps != nil {
+		copy(busCaps, cfg.Partition.BusCaps)
+	}
 	spec := cfg.MemSpec
 	if spec == nil {
 		spec = energy.RDRAM1600()
@@ -327,7 +356,18 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 		}
 		c.alloc.SetChannels(c.channelOf, chanCaps)
 	}
+	partition := -1
+	if cfg.Partition != nil {
+		partition = cfg.Partition.Channel
+	}
 	for i := 0; i < cfg.Geometry.NumChips; i++ {
+		if partition >= 0 && c.channelOf[i] != partition {
+			// Foreign chip: owned by another partition's controller. The
+			// nil entry keeps chip indices global; every loop over
+			// c.chips skips it, and addressing it is a loud panic.
+			c.chips = append(c.chips, nil)
+			continue
+		}
 		cs := &chipState{
 			chip:    memsys.NewChipWithSpec(i, cfg.InitialState, eng.Now(), spec),
 			channel: c.channelOf[i],
@@ -375,6 +415,11 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 	}
 	return c, nil
 }
+
+// Mapper returns the resolved page-to-chip mapping (Layout > Mapper >
+// topology default). The parallel core uses it to split DMA records at
+// channel boundaries with exactly the mapping the controller serves.
+func (c *Controller) Mapper() memsys.Mapper { return c.mapper }
 
 // T returns the baseline DMA-memory request service time (one bus
 // beat), the paper's T.

@@ -1,0 +1,41 @@
+package controller
+
+import "fmt"
+
+// Barrier-side API of a channel-partitioned controller. The parallel
+// core runs one controller per channel, each on its own engine; within
+// an epoch a partition touches only its own state, and the core calls
+// the methods below single-threaded at epoch barriers to exchange the
+// one genuinely shared resource: I/O-bus bandwidth. Slack pools and
+// dirty-chip accounting are partition-local by construction — every
+// chip, flow and gated transfer belongs to exactly one channel.
+
+// BusFlowCounts writes the number of currently flowing streams per
+// shared I/O bus into out (len = Buses.Count). The barrier feeds these
+// demand counts to bus.EpochShares to split each bus across
+// partitions for the next epoch.
+func (c *Controller) BusFlowCounts(out []int) {
+	if len(out) != c.cfg.Buses.Count {
+		panic(fmt.Sprintf("controller: BusFlowCounts got %d slots for %d buses", len(out), c.cfg.Buses.Count))
+	}
+	for i := range out {
+		out[i] = 0
+	}
+	for _, f := range c.allFlows {
+		out[f.bus]++
+	}
+}
+
+// Resync installs this partition's new bus-capacity shares and
+// reallocates its flow rates under them. It charges the span up to the
+// partition's current clock first, so the old rates are accounted over
+// exactly the interval they held. Call only at an epoch barrier, and
+// only when the shares actually changed — a no-change Resync still
+// inserts an accounting boundary, which is harmless for correctness
+// but costs time.
+func (c *Controller) Resync(caps []float64) {
+	now := c.eng.Now()
+	c.accountAll(now)
+	c.alloc.SetBusCaps(caps)
+	c.recompute(now)
+}

@@ -22,6 +22,9 @@ func (c *Controller) Finish(endFloor sim.Time) sim.Time {
 		end = endFloor
 	}
 	for _, cs := range c.chips {
+		if cs == nil {
+			continue
+		}
 		if len(cs.flows) > 0 || len(cs.gated) > 0 || len(cs.waiting) > 0 {
 			panic(fmt.Sprintf("controller: chip %d still has work after drain", cs.chip.ID))
 		}
@@ -36,49 +39,86 @@ func (c *Controller) Finish(endFloor sim.Time) sim.Time {
 // Report aggregates the run into a metrics.Report. scheme names the
 // configuration; end is the instant returned by Finish.
 func (c *Controller) Report(scheme string, end sim.Time) *metrics.Report {
+	return MergeReports(scheme, end, c)
+}
+
+// MergeReports aggregates one run across controllers — the single
+// serial controller, or one channel-partitioned controller per shard
+// of the parallel barrier engine. Pass partitions in channel order:
+// the topology assigns each channel a contiguous block of chip IDs, so
+// ctl order then equals global chip order and the order-sensitive
+// float accumulation (energy sums) matches the serial single-
+// controller report exactly. Every controller must already be
+// Finished; end is the maximum of their Finish results.
+func MergeReports(scheme string, end sim.Time, ctls ...*Controller) *metrics.Report {
+	if len(ctls) == 0 {
+		panic("controller: MergeReports needs at least one controller")
+	}
 	r := &metrics.Report{
-		Scheme:           scheme,
-		SimulatedTime:    sim.Duration(end),
-		Transfers:        c.transfers,
-		Events:           c.eng.Steps(),
-		ClampedProcSpans: c.clampedProc,
+		Scheme:        scheme,
+		SimulatedTime: sim.Duration(end),
 	}
-	r.Channels = c.channels
-	r.ChannelEnergy = make([]energy.Breakdown, c.channels)
+	r.Channels = ctls[0].channels
+	r.ChannelEnergy = make([]energy.Breakdown, r.Channels)
 	var transferTime, servingTime sim.Duration
-	for _, cs := range c.chips {
-		b := cs.chip.Meter.Breakdown()
-		r.Energy.Add(&b)
-		r.ChannelEnergy[cs.channel].Add(&b)
-		r.Wakes += cs.chip.Wakes
-		transferTime += cs.chip.TransferTime
-		servingTime += cs.chip.ServingTime
-		for s, d := range cs.chip.Residency {
-			r.Residency[s] += d
+	var xferTimes, gatherDelays metrics.DurationStats
+	var seenLayouts []*Controller
+	for _, c := range ctls {
+		r.Transfers += c.transfers
+		r.Events += c.eng.Steps()
+		r.ClampedProcSpans += c.clampedProc
+		for _, cs := range c.chips {
+			if cs == nil {
+				continue
+			}
+			b := cs.chip.Meter.Breakdown()
+			r.Energy.Add(&b)
+			r.ChannelEnergy[cs.channel].Add(&b)
+			r.Wakes += cs.chip.Wakes
+			transferTime += cs.chip.TransferTime
+			servingTime += cs.chip.ServingTime
+			for s, d := range cs.chip.Residency {
+				r.Residency[s] += d
+			}
 		}
-	}
-	if c.cfg.Layout != nil {
-		r.Energy[energy.CatMigration] += c.cfg.Layout.MigrationEnergyJ
-		r.Migrations = c.cfg.Layout.MigratedPages
+		if c.cfg.Layout != nil {
+			dup := false
+			for _, p := range seenLayouts {
+				if p.cfg.Layout == c.cfg.Layout {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				seenLayouts = append(seenLayouts, c)
+				r.Energy[energy.CatMigration] += c.cfg.Layout.MigrationEnergyJ
+				r.Migrations += c.cfg.Layout.MigratedPages
+			}
+		}
+		xferTimes.Merge(&c.xferTimes)
+		gatherDelays.Merge(&c.gatherDelays)
 	}
 	if transferTime > 0 {
 		r.UtilizationFactor = float64(servingTime) / float64(transferTime)
 	}
-	r.MeanServiceTime = c.xferTimes.Mean()
-	if c.xferTimes.Count() > 0 {
-		r.P95ServiceTime = c.xferTimes.Percentile(0.95)
-		r.MaxServiceTime = c.xferTimes.Max()
+	r.MeanServiceTime = xferTimes.Mean()
+	if xferTimes.Count() > 0 {
+		r.P95ServiceTime = xferTimes.Percentile(0.95)
+		r.MaxServiceTime = xferTimes.Max()
 	}
-	r.MeanGatherDelay = c.gatherDelays.Mean()
+	r.MeanGatherDelay = gatherDelays.Mean()
 	return r
 }
 
 // ChipModels exposes the per-chip state machines for statistics
-// (per-chip breakdowns, utilization, sleep counts).
+// (per-chip breakdowns, utilization, sleep counts). Chips owned by
+// another partition are nil entries.
 func (c *Controller) ChipModels() []*memsys.Chip {
 	chips := make([]*memsys.Chip, len(c.chips))
 	for i, cs := range c.chips {
-		chips[i] = cs.chip
+		if cs != nil {
+			chips[i] = cs.chip
+		}
 	}
 	return chips
 }

@@ -47,6 +47,10 @@ func (c *Controller) StartTransfer(t dma.Transfer) {
 	// delayed; requests of transfers already in progress are not
 	// (Section 4.1.1).
 	cs := c.chips[c.chipOfSegmentStart(x)]
+	if cs == nil {
+		panic(fmt.Sprintf("controller: transfer %d starts on chip %d owned by another partition",
+			t.ID, c.chipOfSegmentStart(x)))
+	}
 	c.noteArrival(cs, now)
 	if c.taOn && !c.chipAvailable(cs) && c.gatherWorthwhile(cs) {
 		c.gate(cs, x, now)
@@ -111,6 +115,10 @@ func (c *Controller) issueSegment(x *xferState, now sim.Time) {
 	x.seg = dma.Segment{Chip: chip, Page: first, Pages: pages}
 	x.segSet = true
 	cs := c.chips[chip]
+	if cs == nil {
+		panic(fmt.Sprintf("controller: transfer %d reaches chip %d owned by another partition; "+
+			"the parallel core must split DMA records into channel-homogeneous sub-records", x.t.ID, chip))
+	}
 	if cs.chip.Resident() && cs.chip.State() == energy.Active {
 		c.startFlow(cs, x, now)
 		return
@@ -265,7 +273,7 @@ func (c *Controller) onEpoch(e *sim.Engine) {
 	if c.nGated > 0 {
 		c.slack -= float64(c.cfg.TA.EpochLength) * float64(c.nGated)
 		for _, cs := range c.chips {
-			if len(cs.gated) > 0 {
+			if cs != nil && len(cs.gated) > 0 {
 				c.checkRelease(cs, now)
 			}
 		}
@@ -289,6 +297,9 @@ func (c *Controller) ActivePages() map[memsys.PageID]bool {
 		add(f.x)
 	}
 	for _, cs := range c.chips {
+		if cs == nil {
+			continue
+		}
 		for _, x := range cs.gated {
 			add(x)
 		}

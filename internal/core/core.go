@@ -92,6 +92,23 @@ type Config struct {
 	// running the same records from memory. Mutually exclusive with a
 	// non-nil trace and with PerEventFeeder.
 	TraceFile string
+	// Workers selects the parallel barrier engine: zero (the default)
+	// runs the legacy serial event loop; any positive value runs one
+	// event loop per topology channel, executed by at most Workers
+	// goroutines in deterministic epoch-barrier lockstep (see
+	// internal/sim's BarrierEngine and docs/ARCHITECTURE.md). Reports
+	// are independent of the worker count by construction; with a
+	// single channel they are additionally bit-identical to the serial
+	// engine's. Multi-channel parallel runs forbid PL and gap-observing
+	// adaptive policies (their state is global, not per-channel) and
+	// count each channel-homogeneous piece of a channel-spanning DMA
+	// record as its own transfer. Incompatible with PerEventFeeder.
+	Workers int
+	// BarrierEpoch is the parallel engine's barrier period in simulated
+	// time; zero means 50 us. Smaller epochs exchange bus shares more
+	// often (closer to the serial allocator's event-granular coupling);
+	// larger epochs synchronize less and run faster.
+	BarrierEpoch sim.Duration
 }
 
 // withDefaults returns a fully populated copy.
@@ -210,6 +227,9 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, erro
 			tr.Name, cfg.TraceFile)
 	}
 	cfg = cfg.withDefaults()
+	if err := validateWarmupFraction(cfg.WarmupFraction); err != nil {
+		return nil, err
+	}
 	if err := tr.Validate(); err != nil {
 		return nil, err
 	}
@@ -269,6 +289,10 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, erro
 		ccfg.Layout = lm
 	}
 
+	if cfg.Workers > 0 {
+		return finishParallel(ctx, cfg, tr, ccfg, lm, res)
+	}
+
 	eng := sim.New()
 	if cfg.HeapScheduler {
 		eng = sim.NewWithHeap()
@@ -305,12 +329,37 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, erro
 	return res, nil
 }
 
+// validateWarmupFraction rejects fractions outside (0, 1] loudly.
+// Both trace paths apply it after defaulting (zero has already become
+// 1.0), so an out-of-range fraction can no longer panic the in-memory
+// warm-up slice or silently warm the whole file-backed trace.
+func validateWarmupFraction(fraction float64) error {
+	if !(fraction > 0 && fraction <= 1) {
+		return fmt.Errorf("core: WarmupFraction %g outside (0, 1]", fraction)
+	}
+	return nil
+}
+
+// warmupCount is the single truncation both trace paths use to turn
+// the warm-up fraction into a record count, so the in-memory and
+// file-backed layouts warm over exactly the same prefix.
+func warmupCount(fraction float64, records int64) int64 {
+	n := int64(fraction * float64(records))
+	if n < 0 {
+		n = 0
+	}
+	if n > records {
+		n = records
+	}
+	return n
+}
+
 // warmup feeds the first fraction of the trace's DMA references into
 // the layout manager and installs the resulting layout without
 // charging its cost: the measured window starts from popularity steady
 // state.
 func warmup(lm *layout.Manager, tr *trace.Trace, fraction float64) {
-	n := int(fraction * float64(len(tr.Records)))
+	n := warmupCount(fraction, int64(len(tr.Records)))
 	for _, r := range tr.Records[:n] {
 		if !r.Kind.IsDMA() {
 			continue

@@ -27,6 +27,9 @@ func runFileContext(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.PerEventFeeder {
 		return nil, fmt.Errorf("core: PerEventFeeder needs an in-memory trace; TraceFile streams through the batched feeder")
 	}
+	if err := validateWarmupFraction(cfg.WarmupFraction); err != nil {
+		return nil, err
+	}
 	fr, err := trace.OpenDMTFile(cfg.TraceFile)
 	if err != nil {
 		return nil, err
@@ -83,6 +86,10 @@ func runFileContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 
+	if cfg.Workers > 0 {
+		return finishParallelFile(ctx, cfg, fr, sum, ccfg, lm, res)
+	}
+
 	eng := sim.New()
 	if cfg.HeapScheduler {
 		eng = sim.NewWithHeap()
@@ -120,17 +127,25 @@ func runFileContext(ctx context.Context, cfg Config) (*Result, error) {
 }
 
 // validateAndWarmFile streams the container once, applying the same
-// semantic checks (and the same error wording) the in-memory path
-// applies before a run — zero-page DMAs and page-range violations,
-// with the codec already enforcing time order and field ranges — and
-// feeding the first WarmupFraction of the records' DMA references to
-// the layout manager exactly as warmup does.
+// semantic checks — with the same error wording AND the same
+// precedence — the in-memory path applies before a run, and feeding
+// the first WarmupFraction of the records' DMA references to the
+// layout manager exactly as warmup does.
+//
+// Precedence matters for error-string parity: the in-memory path runs
+// all of trace.Validate (zero-page DMAs, negative pages, on every
+// record) before its page-range scan, so a malformed record anywhere
+// in the trace wins over a range violation earlier in it. The single
+// streaming pass reproduces that by returning trace-level errors
+// immediately and holding the first range error until the scan ends.
+// The codec already enforces time order and kind validity.
 func validateAndWarmFile(fr *trace.FileReader, sum trace.FileSummary, cfg Config, lm *layout.Manager) error {
 	maxPage := memsys.PageID(cfg.Geometry.TotalPages())
 	warm := int64(0)
 	if lm != nil {
-		warm = int64(cfg.WarmupFraction * float64(sum.Records))
+		warm = warmupCount(cfg.WarmupFraction, sum.Records)
 	}
+	var rangeErr error
 	cur := fr.Cursor()
 	for i := int64(0); ; i++ {
 		r, ok := cur.Next()
@@ -146,8 +161,11 @@ func validateAndWarmFile(fr *trace.FileReader, sum trace.FileSummary, cfg Config
 		} else {
 			end++
 		}
-		if r.Page < 0 || end > maxPage {
-			return fmt.Errorf("core: record %d touches pages [%d,%d) outside memory of %d pages",
+		if r.Page < 0 {
+			return fmt.Errorf("trace %q: record %d has negative page", sum.Name, i)
+		}
+		if rangeErr == nil && end > maxPage {
+			rangeErr = fmt.Errorf("core: record %d touches pages [%d,%d) outside memory of %d pages",
 				i, r.Page, end, maxPage)
 		}
 		if i < warm && r.Kind.IsDMA() {
@@ -158,6 +176,9 @@ func validateAndWarmFile(fr *trace.FileReader, sum trace.FileSummary, cfg Config
 	}
 	if err := cur.Err(); err != nil {
 		return err
+	}
+	if rangeErr != nil {
+		return rangeErr
 	}
 	if lm != nil {
 		lm.Rebalance(nil)

@@ -1,0 +1,363 @@
+// Parallel run assembly: one event loop per topology channel, driven
+// in deterministic epoch-barrier lockstep by internal/sim's
+// BarrierEngine (Config.Workers > 0).
+//
+// Each channel gets its own sim.Engine and its own channel-partitioned
+// controller; within an epoch a shard touches only its own chips,
+// flows, timers and slack pool, so shards share no state and the
+// worker count cannot affect results. The one genuinely shared
+// resource — I/O-bus bandwidth — is split across partitions at every
+// epoch barrier with a demand-weighted max-min share (bus.EpochShares
+// + Controller.Resync), single-threaded.
+//
+// With a single channel the barrier engine degenerates to the serial
+// engine executed in epoch-sized chunks, and reports are bit-identical
+// to the serial reference (the golden corpus cross-check in
+// internal/experiments holds both paths to it). With multiple channels
+// the epoch-barrier bus coupling IS the semantics: the serial engine
+// reallocates globally at event granularity, which no conservative
+// parallel schedule can reproduce, so multi-channel parallel runs are
+// their own scheme — deterministic, worker-count-invariant, and
+// cross-checked 2-and-4-workers-vs-1 instead. Channel-spanning DMA
+// records are split into channel-homogeneous sub-transfers that
+// proceed concurrently (the serial engine walks them sequentially);
+// Transfers and service-time stats count the sub-transfers.
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"dmamem/internal/bus"
+	"dmamem/internal/controller"
+	"dmamem/internal/dma"
+	"dmamem/internal/layout"
+	"dmamem/internal/memsys"
+	"dmamem/internal/policy"
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+// defaultBarrierEpoch balances synchronization overhead against how
+// stale a partition's bus share may grow: 50 us is a few dozen
+// transfer service times at PCI-X rates.
+const defaultBarrierEpoch = 50 * sim.Microsecond
+
+// parallelRun is the assembled shard set plus the barrier-side bus
+// bookkeeping.
+type parallelRun struct {
+	cfg      Config
+	channels int
+	engs     []*sim.Engine
+	ctls     []*controller.Controller
+
+	// Bus-share state (channels > 1): fullCaps is every bus at full
+	// bandwidth; shares holds each partition's current allocation,
+	// counts and next are barrier scratch.
+	fullCaps []float64
+	shares   [][]float64
+	counts   [][]int
+	next     [][]float64
+}
+
+// channelOfPage resolves the channel serving a page under the static
+// mapping. Only used when channels > 1, where PL is rejected, so the
+// mapping cannot change mid-run and records can be split up front.
+func channelOfPage(cfg Config, mapper memsys.Mapper) func(memsys.PageID) int {
+	geo := cfg.Geometry
+	topo := cfg.Topology
+	return func(p memsys.PageID) int {
+		return topo.ChannelOfChip(geo, mapper.ChipOf(p))
+	}
+}
+
+// newParallelRun builds the per-channel engines and partitioned
+// controllers from the serial controller config template.
+func newParallelRun(cfg Config, ccfg controller.Config) (*parallelRun, error) {
+	if cfg.PerEventFeeder {
+		return nil, fmt.Errorf("core: Workers and PerEventFeeder are mutually exclusive; the parallel engine feeds every shard through the batched feeder")
+	}
+	if cfg.BarrierEpoch < 0 {
+		return nil, fmt.Errorf("core: BarrierEpoch %v is negative", cfg.BarrierEpoch)
+	}
+	channels := cfg.Topology.NumChannels()
+	if channels > 1 {
+		if cfg.PL != nil {
+			return nil, fmt.Errorf("core: PL needs the serial engine on a %d-channel topology; its layout state is global, not per-channel", channels)
+		}
+		if _, ok := cfg.Policy.(policy.GapObserver); ok {
+			return nil, fmt.Errorf("core: policy %T observes idle gaps globally; multi-channel parallel runs need a channel-pure policy", cfg.Policy)
+		}
+	}
+	p := &parallelRun{cfg: cfg, channels: channels}
+	if channels > 1 {
+		p.fullCaps = make([]float64, cfg.Buses.Count)
+		for i := range p.fullCaps {
+			p.fullCaps[i] = cfg.Buses.Bandwidth
+		}
+		p.shares = make([][]float64, channels)
+		p.counts = make([][]int, channels)
+		p.next = make([][]float64, channels)
+		for ch := range p.shares {
+			p.shares[ch] = make([]float64, cfg.Buses.Count)
+			p.counts[ch] = make([]int, cfg.Buses.Count)
+			p.next[ch] = make([]float64, cfg.Buses.Count)
+		}
+		// The opening allocation is the zero-demand split: every
+		// partition idle, each holding an even reserve share.
+		bus.EpochShares(p.fullCaps, p.counts, p.shares)
+	}
+	for ch := 0; ch < channels; ch++ {
+		eng := sim.New()
+		if cfg.HeapScheduler {
+			eng = sim.NewWithHeap()
+		}
+		pcfg := ccfg
+		if channels > 1 {
+			caps := make([]float64, cfg.Buses.Count)
+			copy(caps, p.shares[ch])
+			pcfg.Partition = &controller.Partition{Channel: ch, BusCaps: caps}
+		}
+		ctl, err := controller.New(eng, pcfg)
+		if err != nil {
+			return nil, err
+		}
+		p.engs = append(p.engs, eng)
+		p.ctls = append(p.ctls, ctl)
+	}
+	return p, nil
+}
+
+// barrier re-splits the shared buses by the demand each partition
+// reported for the epoch that just ended. Runs single-threaded between
+// epochs; Resync is skipped while a partition's shares are unchanged,
+// so an all-idle simulation inserts no accounting boundaries at all.
+func (p *parallelRun) barrier(sim.Time) error {
+	for ch, ctl := range p.ctls {
+		ctl.BusFlowCounts(p.counts[ch])
+	}
+	bus.EpochShares(p.fullCaps, p.counts, p.next)
+	for ch, ctl := range p.ctls {
+		changed := false
+		for b, s := range p.next[ch] {
+			if s != p.shares[ch][b] {
+				changed = true
+				break
+			}
+		}
+		if changed {
+			copy(p.shares[ch], p.next[ch])
+			ctl.Resync(p.shares[ch])
+		}
+	}
+	return nil
+}
+
+// execute drives the shards until every event loop and input source
+// drains (or ctx cancels).
+func (p *parallelRun) execute(ctx context.Context, hooks sim.BarrierHooks) error {
+	epoch := p.cfg.BarrierEpoch
+	if epoch == 0 {
+		epoch = defaultBarrierEpoch
+	}
+	be, err := sim.NewBarrierEngine(p.engs, epoch, p.cfg.Workers)
+	if err != nil {
+		return err
+	}
+	if p.channels > 1 {
+		hooks.Barrier = p.barrier
+	}
+	return be.Run(ctx, hooks)
+}
+
+// finish closes every partition's accounting over the shared metering
+// window and merges the partition reports (ctls are in channel order,
+// so the merge accumulates in global chip order).
+func (p *parallelRun) finish(window sim.Duration, res *Result) *Result {
+	var end sim.Time
+	for _, ctl := range p.ctls {
+		if e := ctl.Finish(sim.Time(window)); e > end {
+			end = e
+		}
+	}
+	res.Report = controller.MergeReports(p.cfg.Scheme, end, p.ctls...)
+	return res
+}
+
+// appendSplit splits one record into channel-homogeneous sub-records
+// appended to the per-channel slices: a processor access goes to its
+// page's channel whole; a DMA record is cut at every channel change
+// along its page run. Sub-records inherit the time and bus, so each
+// partition's arrival order matches the global trace order restricted
+// to it.
+func appendSplit(out [][]trace.Record, r trace.Record, chanOf func(memsys.PageID) int) {
+	if !r.Kind.IsDMA() {
+		ch := chanOf(r.Page)
+		out[ch] = append(out[ch], r)
+		return
+	}
+	start := 0
+	ch := chanOf(r.Page)
+	for i := 1; i < int(r.Pages); i++ {
+		if c := chanOf(r.Page + memsys.PageID(i)); c != ch {
+			sub := r
+			sub.Page = r.Page + memsys.PageID(start)
+			sub.Pages = uint16(i - start)
+			out[ch] = append(out[ch], sub)
+			start, ch = i, c
+		}
+	}
+	sub := r
+	sub.Page = r.Page + memsys.PageID(start)
+	sub.Pages = uint16(int(r.Pages) - start)
+	out[ch] = append(out[ch], sub)
+}
+
+// finishParallel completes RunContext's in-memory path on the barrier
+// engine. The trace is already validated and the controller config
+// template (ccfg) carries the resolved TA.
+func finishParallel(ctx context.Context, cfg Config, tr *trace.Trace, ccfg controller.Config, lm *layout.Manager, res *Result) (*Result, error) {
+	p, err := newParallelRun(cfg, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	if p.channels == 1 {
+		p.engs[0].SetFeeder(&traceFeeder{ctl: p.ctls[0], records: tr.Records})
+	} else {
+		split := make([][]trace.Record, p.channels)
+		chanOf := channelOfPage(cfg, p.ctls[0].Mapper())
+		for _, r := range tr.Records {
+			appendSplit(split, r, chanOf)
+		}
+		for ch, eng := range p.engs {
+			eng.SetFeeder(&traceFeeder{ctl: p.ctls[ch], records: split[ch]})
+		}
+	}
+	if lm != nil {
+		// PL implies a single channel (newParallelRun rejected the rest);
+		// the rebalance ticks live on the sole shard exactly as on the
+		// serial engine.
+		scheduleRebalances(p.engs[0], p.ctls[0], lm, sim.Time(tr.Duration()))
+	}
+	if err := p.execute(ctx, sim.BarrierHooks{}); err != nil {
+		return nil, err
+	}
+	window := cfg.MeterWindow
+	if window == 0 {
+		window = tr.Duration() + 2*sim.Millisecond
+	}
+	p.finish(window, res)
+	if lm != nil {
+		res.MigratedPages = lm.MigratedPages
+		res.MigrationEnergyJ = lm.MigrationEnergyJ
+		res.Rebalances = lm.Rebalances
+	}
+	return res, nil
+}
+
+// bufFeeder is traceFeeder over a buffer the barrier's Prepare hook
+// refills: the coordinator stages each epoch's records into the owning
+// shard before the shards run, so mid-epoch the shard pulls arrivals
+// from local memory only. The buffer is compacted whenever it drains,
+// keeping it at one epoch's worth of records.
+type bufFeeder struct {
+	ctl    *controller.Controller
+	buf    []trace.Record
+	pos    int
+	nextID int64
+}
+
+func (f *bufFeeder) Peek() (sim.Time, int8, bool) {
+	if f.pos >= len(f.buf) {
+		return 0, 0, false
+	}
+	return f.buf[f.pos].Time, feederPrio, true
+}
+
+func (f *bufFeeder) Fire(e *sim.Engine) {
+	now := e.Now()
+	for f.pos < len(f.buf) && f.buf[f.pos].Time == now {
+		r := f.buf[f.pos]
+		f.pos++
+		if r.Kind.IsDMA() {
+			f.ctl.StartTransfer(dma.FromRecord(f.nextID, r))
+			f.nextID++
+		} else {
+			f.ctl.ProcAccess(r.Page)
+		}
+	}
+	if f.pos == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.pos = 0
+	}
+}
+
+// finishParallelFile completes runFileContext on the barrier engine.
+// The container is already validated and warmed. A single channel
+// streams through the ordinary cursor feeder (bit-identical to the
+// serial file path); multiple channels pull the cursor from the
+// barrier loop's Prepare hook, which stages each epoch's records into
+// per-shard buffers — the cursor stays single-threaded throughout.
+func finishParallelFile(ctx context.Context, cfg Config, fr *trace.FileReader, sum trace.FileSummary, ccfg controller.Config, lm *layout.Manager, res *Result) (*Result, error) {
+	p, err := newParallelRun(cfg, ccfg)
+	if err != nil {
+		return nil, err
+	}
+	hooks := sim.BarrierHooks{}
+	cur := fr.Cursor()
+	if p.channels == 1 {
+		feeder := &fileFeeder{ctl: p.ctls[0], cur: cur}
+		p.engs[0].SetFeeder(feeder)
+	} else {
+		feeders := make([]*bufFeeder, p.channels)
+		for ch := range feeders {
+			feeders[ch] = &bufFeeder{ctl: p.ctls[ch]}
+			p.engs[ch].SetFeeder(feeders[ch])
+		}
+		chanOf := channelOfPage(cfg, p.ctls[0].Mapper())
+		split := make([][]trace.Record, p.channels)
+		hooks.NextInput = func() (sim.Time, bool) {
+			r, ok := cur.Peek()
+			if !ok {
+				return 0, false
+			}
+			return r.Time, true
+		}
+		hooks.Prepare = func(end sim.Time) error {
+			for {
+				r, ok := cur.Peek()
+				if !ok || r.Time > end {
+					return nil
+				}
+				cur.Advance()
+				for ch := range split {
+					split[ch] = split[ch][:0]
+				}
+				appendSplit(split, r, chanOf)
+				for ch, subs := range split {
+					feeders[ch].buf = append(feeders[ch].buf, subs...)
+				}
+			}
+		}
+	}
+	if lm != nil {
+		scheduleRebalances(p.engs[0], p.ctls[0], lm, sim.Time(sum.Duration))
+	}
+	if err := p.execute(ctx, hooks); err != nil {
+		return nil, err
+	}
+	if err := cur.Err(); err != nil {
+		return nil, fmt.Errorf("core: streaming %s: %w", cfg.TraceFile, err)
+	}
+	window := cfg.MeterWindow
+	if window == 0 {
+		window = sum.Duration + 2*sim.Millisecond
+	}
+	p.finish(window, res)
+	if lm != nil {
+		res.MigratedPages = lm.MigratedPages
+		res.MigrationEnergyJ = lm.MigrationEnergyJ
+		res.Rebalances = lm.Rebalances
+	}
+	return res, nil
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"dmamem/internal/controller"
+	"dmamem/internal/memsys"
+	"dmamem/internal/policy"
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+// dbTrace returns a short Synthetic-Db trace shared by tests.
+func dbTrace(t *testing.T, d sim.Duration) *trace.Trace {
+	t.Helper()
+	w, err := SyntheticDbWorkload(d, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w.Trace
+}
+
+// parallelSchemes are the corpus schemes the parallel engine must
+// reproduce.
+func parallelSchemes() map[string]Config {
+	return map[string]Config{
+		"baseline":  {},
+		"dma-ta":    {TA: controller.DefaultTA(0), CPLimit: 0.10},
+		"dma-ta-pl": {TA: controller.DefaultTA(0), CPLimit: 0.10, PL: plCfg(2)},
+	}
+}
+
+// TestParallelSingleChannelBitIdentical is the core-level acceptance
+// gate: on a single channel the barrier engine must reproduce the
+// serial engine's Result exactly — every scheme, 1/2/4 workers
+// (clamped to the one shard), several epoch lengths, in-memory and
+// file-backed.
+func TestParallelSingleChannelBitIdentical(t *testing.T) {
+	tr := stTrace(t, 5*sim.Millisecond)
+	path := saveDMT(t, tr, 512)
+	for name, cfg := range parallelSchemes() {
+		serial, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("%s serial: %v", name, err)
+		}
+		fcfg := cfg
+		fcfg.TraceFile = path
+		serialFile, err := Run(fcfg, nil)
+		if err != nil {
+			t.Fatalf("%s serial file: %v", name, err)
+		}
+		for _, workers := range []int{1, 2, 4} {
+			pcfg := cfg
+			pcfg.Workers = workers
+			got, err := Run(pcfg, tr)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(serial, got) {
+				t.Errorf("%s workers=%d: parallel result differs from serial\nserial:   %+v\nparallel: %+v",
+					name, workers, serial, got)
+			}
+			pf := fcfg
+			pf.Workers = workers
+			gotFile, err := Run(pf, nil)
+			if err != nil {
+				t.Fatalf("%s file workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(serialFile, gotFile) {
+				t.Errorf("%s file workers=%d: parallel file result differs from serial file", name, workers)
+			}
+		}
+		for _, epoch := range []sim.Duration{10 * sim.Microsecond, 200 * sim.Microsecond} {
+			pcfg := cfg
+			pcfg.Workers = 1
+			pcfg.BarrierEpoch = epoch
+			got, err := Run(pcfg, tr)
+			if err != nil {
+				t.Fatalf("%s epoch=%v: %v", name, epoch, err)
+			}
+			if !reflect.DeepEqual(serial, got) {
+				t.Errorf("%s epoch=%v: result depends on the barrier epoch", name, epoch)
+			}
+		}
+	}
+}
+
+// TestParallelMultiChannelWorkerInvariance: on a multi-channel
+// topology the worker count must not influence the result (the
+// conservative-PDES determinism claim), and the file-backed path —
+// which stages records through the Prepare hook instead of per-shard
+// feeders — must agree with the in-memory path exactly.
+func TestParallelMultiChannelWorkerInvariance(t *testing.T) {
+	topo := memsys.Topology{Channels: 4, ChannelBandwidth: 3.2e9}
+	tr := stTrace(t, 5*sim.Millisecond)
+	path := saveDMT(t, tr, 512)
+	for name, cfg := range parallelSchemes() {
+		if cfg.PL != nil {
+			continue // PL is serial-only on multi-channel topologies
+		}
+		cfg.Topology = topo
+		cfg.Workers = 1
+		ref, err := Run(cfg, tr)
+		if err != nil {
+			t.Fatalf("%s workers=1: %v", name, err)
+		}
+		if ref.Report.Channels != 4 {
+			t.Fatalf("%s: report has %d channels", name, ref.Report.Channels)
+		}
+		for _, workers := range []int{2, 4} {
+			pcfg := cfg
+			pcfg.Workers = workers
+			got, err := Run(pcfg, tr)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("%s: workers=%d result differs from workers=1", name, workers)
+			}
+		}
+		for _, workers := range []int{1, 2, 4} {
+			fcfg := cfg
+			fcfg.TraceFile = path
+			fcfg.Workers = workers
+			got, err := Run(fcfg, nil)
+			if err != nil {
+				t.Fatalf("%s file workers=%d: %v", name, workers, err)
+			}
+			if !reflect.DeepEqual(ref, got) {
+				t.Errorf("%s: file-backed workers=%d result differs from in-memory workers=1", name, workers)
+			}
+		}
+	}
+}
+
+// TestParallelRejections pins the loud errors of the parallel path.
+func TestParallelRejections(t *testing.T) {
+	tr := stTrace(t, sim.Millisecond)
+	topo := memsys.Topology{Channels: 4, ChannelBandwidth: 3.2e9}
+	if _, err := Run(Config{Workers: 2, PerEventFeeder: true}, tr); err == nil ||
+		!strings.Contains(err.Error(), "PerEventFeeder") {
+		t.Errorf("PerEventFeeder with Workers: %v", err)
+	}
+	if _, err := Run(Config{Workers: 2, Topology: topo, PL: plCfg(2)}, tr); err == nil ||
+		!strings.Contains(err.Error(), "PL") {
+		t.Errorf("PL on multi-channel parallel: %v", err)
+	}
+	if _, err := Run(Config{Workers: 2, Topology: topo, Policy: policy.NewSelfTuning()}, tr); err == nil ||
+		!strings.Contains(err.Error(), "policy") {
+		t.Errorf("gap-observing policy on multi-channel parallel: %v", err)
+	}
+	if _, err := Run(Config{Workers: 2, BarrierEpoch: -sim.Microsecond}, tr); err == nil ||
+		!strings.Contains(err.Error(), "BarrierEpoch") {
+		t.Errorf("negative BarrierEpoch: %v", err)
+	}
+	// Single-channel parallel PL and SelfTuning stay legal: one shard
+	// is the serial semantics.
+	if _, err := Run(Config{Workers: 2, PL: plCfg(2), TA: controller.DefaultTA(0), CPLimit: 0.10}, tr); err != nil {
+		t.Errorf("single-channel parallel PL: %v", err)
+	}
+	if _, err := Run(Config{Workers: 2, Policy: policy.NewSelfTuning()}, tr); err != nil {
+		t.Errorf("single-channel parallel SelfTuning: %v", err)
+	}
+}
+
+// TestFileErrorWordingMatchesMemory is the satellite-1 regression: the
+// two trace paths must return character-identical errors on the same
+// malformed records, including when a trace-level violation (checked
+// first in-memory, across the whole trace) coexists with an earlier
+// page-range violation.
+func TestFileErrorWordingMatchesMemory(t *testing.T) {
+	maxPage := memsys.PageID(memsys.Default().TotalPages())
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"zero-page after range violation", &trace.Trace{Name: "mixed", Records: []trace.Record{
+			{Time: 0, Kind: trace.DMARead, Pages: 4, Page: maxPage - 1},
+			{Time: 1, Kind: trace.DMARead, Pages: 0, Page: 0},
+		}}},
+		{"range violation only", &trace.Trace{Name: "oob", Records: []trace.Record{
+			{Time: 0, Kind: trace.DMARead, Pages: 2, Page: 5},
+			{Time: 3, Kind: trace.DMAWrite, Pages: 8, Page: maxPage - 2},
+		}}},
+		{"zero-page only", &trace.Trace{Name: "zdma", Records: []trace.Record{
+			{Time: 0, Kind: trace.DMARead, Pages: 2, Page: 0},
+			{Time: 2, Kind: trace.DMAWrite, Pages: 0, Page: 9},
+		}}},
+	}
+	for _, tc := range cases {
+		_, memErr := Run(Config{}, tc.tr)
+		if memErr == nil {
+			t.Fatalf("%s: in-memory run accepted malformed trace", tc.name)
+		}
+		_, fileErr := Run(Config{TraceFile: saveDMT(t, tc.tr, 64)}, nil)
+		if fileErr == nil {
+			t.Fatalf("%s: file-backed run accepted malformed trace", tc.name)
+		}
+		if memErr.Error() != fileErr.Error() {
+			t.Errorf("%s: error wording diverges\nmem:  %s\nfile: %s", tc.name, memErr, fileErr)
+		}
+	}
+}
+
+// TestWarmupFractionCrossPath is the satellite-2 regression: warm-up
+// counts must truncate identically on both paths at fractional values,
+// keeping reports bit-identical; out-of-range fractions fail loudly
+// with the same wording instead of panicking (in-memory) or silently
+// warming everything (file).
+func TestWarmupFractionCrossPath(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"Synthetic-St": stTrace(t, 5*sim.Millisecond),
+		"Synthetic-Db": dbTrace(t, 5*sim.Millisecond),
+	}
+	for wname, tr := range traces {
+		path := saveDMT(t, tr, 512)
+		for _, frac := range []float64{0.1, 0.33, 0.5} {
+			cfg := Config{
+				TA: controller.DefaultTA(0), CPLimit: 0.10, PL: plCfg(2),
+				WarmupFraction: frac,
+			}
+			mem, err := Run(cfg, tr)
+			if err != nil {
+				t.Fatalf("%s frac=%g in-memory: %v", wname, frac, err)
+			}
+			fcfg := cfg
+			fcfg.TraceFile = path
+			file, err := Run(fcfg, nil)
+			if err != nil {
+				t.Fatalf("%s frac=%g file: %v", wname, frac, err)
+			}
+			if !reflect.DeepEqual(mem, file) {
+				t.Errorf("%s frac=%g: file-backed result differs from in-memory", wname, frac)
+			}
+		}
+		for _, frac := range []float64{-0.5, 1.5} {
+			cfg := Config{PL: plCfg(2), WarmupFraction: frac}
+			_, memErr := Run(cfg, tr)
+			fcfg := cfg
+			fcfg.TraceFile = path
+			_, fileErr := Run(fcfg, nil)
+			if memErr == nil || fileErr == nil {
+				t.Fatalf("%s frac=%g accepted (mem=%v file=%v)", wname, frac, memErr, fileErr)
+			}
+			if memErr.Error() != fileErr.Error() {
+				t.Errorf("%s frac=%g: rejection wording diverges\nmem:  %s\nfile: %s", wname, frac, memErr, fileErr)
+			}
+			if !strings.Contains(memErr.Error(), "WarmupFraction") {
+				t.Errorf("%s frac=%g: unclear rejection %q", wname, frac, memErr)
+			}
+		}
+	}
+}

@@ -49,6 +49,12 @@ type Suite struct {
 	// all four combinations to that.
 	HeapScheduler  bool
 	PerEventFeeder bool
+	// Workers propagates core.Config.Workers to every simulation the
+	// suite runs: 0 keeps the serial reference engine, a positive count
+	// selects the epoch-barrier parallel engine. Golden-corpus results
+	// are bit-identical either way; the parallel cross-check test holds
+	// every worker count to that.
+	Workers int
 
 	mu        sync.Mutex
 	cache     map[string]*cacheEntry
@@ -153,6 +159,7 @@ func (s *Suite) generate(name string) (*trace.Trace, error) {
 func (s *Suite) run(ctx context.Context, cfg core.Config, tr *trace.Trace) (*core.Result, error) {
 	cfg.HeapScheduler = s.HeapScheduler
 	cfg.PerEventFeeder = s.PerEventFeeder
+	cfg.Workers = s.Workers
 	return core.RunContext(ctx, cfg, tr)
 }
 
@@ -162,6 +169,7 @@ func (s *Suite) run(ctx context.Context, cfg core.Config, tr *trace.Trace) (*cor
 func (s *Suite) runPair(ctx context.Context, base, tech core.Config, tr *trace.Trace) (savings float64, events uint64, err error) {
 	base.HeapScheduler, tech.HeapScheduler = s.HeapScheduler, s.HeapScheduler
 	base.PerEventFeeder, tech.PerEventFeeder = s.PerEventFeeder, s.PerEventFeeder
+	base.Workers, tech.Workers = s.Workers, s.Workers
 	b, t, savings, err := core.RunBaselinePairParallel(ctx, base, tech, tr, 1)
 	if err != nil {
 		return 0, 0, err

@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dmamem/internal/core"
+	"dmamem/internal/memsys"
+	"dmamem/internal/sim"
+)
+
+// TestParallelSerialBitIdentical is the acceptance cross-check for the
+// epoch-barrier parallel engine: on every golden-corpus workload x
+// scheme, the parallel engine at 1, 2 and 4 workers must reproduce the
+// serial reference engine's report bit for bit — in-memory and
+// file-backed. The comparison is reflect.DeepEqual over the whole
+// core.Result, so one drifted float or one extra engine step fails.
+// CI runs this under -race, which also exercises the barrier
+// engine's cross-goroutine handoffs for data races.
+func TestParallelSerialBitIdentical(t *testing.T) {
+	s := goldenSuite()
+	for _, name := range workloadNames {
+		tr, err := s.workload(name)
+		if err != nil {
+			t.Fatalf("workload %s: %v", name, err)
+		}
+		path := saveDMT(t, tr, 512)
+		window := tr.Duration() + 2*sim.Millisecond
+		for _, sc := range goldenSchemes() {
+			cfg := sc.cfg
+			cfg.MeterWindow = window
+			serial, err := core.Run(cfg, tr)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", name, sc.label, err)
+			}
+			fcfg := cfg
+			fcfg.TraceFile = path
+			serialFile, err := core.Run(fcfg, nil)
+			if err != nil {
+				t.Fatalf("%s/%s serial file: %v", name, sc.label, err)
+			}
+			if !reflect.DeepEqual(serial, serialFile) {
+				t.Fatalf("%s/%s: serial file result differs from in-memory", name, sc.label)
+			}
+			for _, workers := range []int{1, 2, 4} {
+				pcfg := cfg
+				pcfg.Workers = workers
+				got, err := core.Run(pcfg, tr)
+				if err != nil {
+					t.Fatalf("%s/%s workers=%d: %v", name, sc.label, workers, err)
+				}
+				if !reflect.DeepEqual(serial, got) {
+					t.Errorf("%s/%s: parallel workers=%d differs from serial", name, sc.label, workers)
+				}
+				pf := fcfg
+				pf.Workers = workers
+				gotFile, err := core.Run(pf, nil)
+				if err != nil {
+					t.Fatalf("%s/%s file workers=%d: %v", name, sc.label, workers, err)
+				}
+				if !reflect.DeepEqual(serial, gotFile) {
+					t.Errorf("%s/%s: parallel file workers=%d differs from serial", name, sc.label, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelThroughputSmoke is the CI bench smoke gate for the
+// parallel engine: on a 4-channel topology, 4 workers must deliver at
+// least 1.3x the serial engine's events/sec on the SimulatorThroughput
+// configuration. Benchmarking inside the normal test run would be
+// noise-prone, so the check only arms when CI sets
+// DMAMEM_BENCH_SMOKE=1, and it skips on hosts with fewer than 4 CPUs
+// where a parallel speedup is physically unavailable.
+func TestParallelThroughputSmoke(t *testing.T) {
+	if os.Getenv("DMAMEM_BENCH_SMOKE") == "" {
+		t.Skip("set DMAMEM_BENCH_SMOKE=1 to run the parallel throughput gate")
+	}
+	if n := runtime.NumCPU(); n < 4 {
+		t.Skipf("parallel throughput gate needs at least 4 CPUs, have %d", n)
+	}
+	s := NewSuite(25*sim.Millisecond, 1)
+	tr, err := s.workload("Synthetic-St")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := memsys.Topology{Channels: 4, ChannelBandwidth: 3.2e9}
+	eventsPerSec := func(workers int) float64 {
+		var events uint64
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(core.Config{Topology: topo, Workers: workers}, tr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				events = res.Report.Events
+			}
+		})
+		return float64(events) * float64(r.N) / r.T.Seconds()
+	}
+	serial := eventsPerSec(0)
+	parallel := eventsPerSec(4)
+	ratio := parallel / serial
+	t.Logf("parallel %.0f events/sec, serial %.0f events/sec, ratio %.3f", parallel, serial, ratio)
+	fmt.Printf("bench-smoke: parallel=%.0f serial=%.0f events/sec (ratio %.3f)\n", parallel, serial, ratio)
+	if ratio < 1.3 {
+		t.Fatalf("parallel engine underperforms at 4 channels / 4 workers: %.0f vs %.0f events/sec (ratio %.3f < 1.3)",
+			parallel, serial, ratio)
+	}
+}

@@ -1,0 +1,204 @@
+// Conservative parallel discrete-event execution. A BarrierEngine owns
+// several independent Engines — one per memory channel in this
+// repository — and drives them through bulk-synchronous epochs: within
+// an epoch every shard dispatches its own events on its own goroutine
+// with no shared state, and cross-shard interaction happens only in
+// the caller's barrier hook, which runs single-threaded between
+// epochs. Because the epoch grid is a pure function of simulated time
+// and the shards never observe each other mid-epoch, the dispatch
+// sequence of every shard is identical at any worker count — the
+// parallelism is conservative in the PDES sense, and determinism holds
+// by construction rather than by luck of scheduling.
+package sim
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// maxTime is the open-ended run limit shared with Engine.Run.
+const maxTime = Time(1<<62 - 1)
+
+// BarrierHooks are the caller's epoch-boundary callbacks. All fields
+// are optional.
+type BarrierHooks struct {
+	// NextInput reports the instant of the earliest external input not
+	// yet delivered to any shard (a trace cursor's head, typically), so
+	// the epoch loop does not skip past epochs whose only activity is
+	// new input. ok=false once the source is exhausted.
+	NextInput func() (Time, bool)
+	// Prepare runs single-threaded before the shards execute the epoch
+	// ending at end (inclusive). Use it to stage external inputs due
+	// within the epoch into per-shard structures.
+	Prepare func(end Time) error
+	// Barrier runs single-threaded after every shard has reached end.
+	// This is the only place cross-shard state may be exchanged:
+	// bandwidth re-allocation, slack settlement, anything that reads or
+	// writes more than one shard.
+	Barrier func(end Time) error
+}
+
+// BarrierEngine drives a set of shard Engines in deterministic
+// epoch-barrier lockstep. Construct with NewBarrierEngine.
+type BarrierEngine struct {
+	shards  []*Engine
+	epoch   Duration
+	workers int
+}
+
+// NewBarrierEngine builds a barrier engine over the given shards.
+// epoch is the barrier period in simulated time; workers is the number
+// of goroutines that execute shards within an epoch (clamped to the
+// shard count; 1 means the shards run inline on the caller's
+// goroutine). Results are independent of workers by construction.
+func NewBarrierEngine(shards []*Engine, epoch Duration, workers int) (*BarrierEngine, error) {
+	switch {
+	case len(shards) == 0:
+		return nil, fmt.Errorf("sim: barrier engine needs at least one shard")
+	case epoch <= 0:
+		return nil, fmt.Errorf("sim: barrier epoch %v must be positive", epoch)
+	case workers < 1:
+		return nil, fmt.Errorf("sim: barrier workers %d must be at least 1", workers)
+	}
+	for i, s := range shards {
+		if s == nil {
+			return nil, fmt.Errorf("sim: barrier shard %d is nil", i)
+		}
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	return &BarrierEngine{shards: shards, epoch: epoch, workers: workers}, nil
+}
+
+// Workers returns the effective worker count after clamping.
+func (b *BarrierEngine) Workers() int { return b.workers }
+
+// nextAt returns the earliest pending instant across every shard and
+// the external input source.
+func (b *BarrierEngine) nextAt(hooks BarrierHooks) (Time, bool) {
+	var at Time
+	ok := false
+	for _, s := range b.shards {
+		if t, o := s.NextAt(); o && (!ok || t < at) {
+			at, ok = t, true
+		}
+	}
+	if hooks.NextInput != nil {
+		if t, o := hooks.NextInput(); o && (!ok || t < at) {
+			at, ok = t, true
+		}
+	}
+	return at, ok
+}
+
+// epochEnd maps an instant to the inclusive end of the epoch holding
+// it: epoch k covers [k*E, (k+1)*E), and integer picoseconds make the
+// exclusive upper bound exactly representable as (k+1)*E - 1. Empty
+// epochs are skipped for free because the grid is derived from the
+// next pending instant, not walked one period at a time.
+func (b *BarrierEngine) epochEnd(at Time) Time {
+	if at < 0 {
+		at = 0
+	}
+	k := at / Time(b.epoch)
+	end := (k+1)*Time(b.epoch) - 1
+	if end < at || end > maxTime {
+		return maxTime // epoch grid overflow: one final open-ended chunk
+	}
+	return end
+}
+
+// shardJob is one epoch slice of work for the worker pool.
+type shardJob struct {
+	eng *Engine
+	end Time
+}
+
+// Run executes epochs until every shard and the input source drain, or
+// ctx is cancelled. Each epoch: Prepare, then every shard runs to the
+// epoch end (in parallel across min(workers, shards) goroutines; a
+// shard itself is never shared between goroutines), then Barrier.
+// Handlers and hooks may schedule freely into their own shard; Barrier
+// may schedule into any shard at instants >= that shard's clock.
+func (b *BarrierEngine) Run(ctx context.Context, hooks BarrierHooks) error {
+	var (
+		jobs      chan shardJob
+		epochWG   sync.WaitGroup
+		workerWG  sync.WaitGroup
+		errMu     sync.Mutex
+		workerErr error
+	)
+	if b.workers > 1 {
+		jobs = make(chan shardJob)
+		for w := 0; w < b.workers; w++ {
+			workerWG.Add(1)
+			go func() {
+				defer workerWG.Done()
+				for j := range jobs {
+					// RunUntilContext only errors on ctx cancellation,
+					// so recording the first error cannot perturb the
+					// simulation state a successful run would produce.
+					if err := j.eng.RunUntilContext(ctx, j.end); err != nil {
+						errMu.Lock()
+						if workerErr == nil {
+							workerErr = err
+						}
+						errMu.Unlock()
+					}
+					epochWG.Done()
+				}
+			}()
+		}
+		defer func() {
+			close(jobs)
+			workerWG.Wait()
+		}()
+	}
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		at, ok := b.nextAt(hooks)
+		if !ok {
+			return nil
+		}
+		end := b.epochEnd(at)
+		if hooks.Prepare != nil {
+			if err := hooks.Prepare(end); err != nil {
+				return err
+			}
+		}
+		if jobs != nil {
+			epochWG.Add(len(b.shards))
+			for _, s := range b.shards {
+				jobs <- shardJob{eng: s, end: end}
+			}
+			// The Wait is the epoch barrier proper: it orders every
+			// shard's writes before the hook below reads them, and the
+			// next epoch's sends order the hook's writes before the
+			// shards resume.
+			epochWG.Wait()
+			errMu.Lock()
+			err := workerErr
+			errMu.Unlock()
+			if err != nil {
+				return err
+			}
+		} else {
+			for _, s := range b.shards {
+				if err := s.RunUntilContext(ctx, end); err != nil {
+					return err
+				}
+			}
+		}
+		if hooks.Barrier != nil {
+			if err := hooks.Barrier(end); err != nil {
+				return err
+			}
+		}
+	}
+}

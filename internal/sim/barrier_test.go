@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// buildBarrierKernel schedules one shard's random workload: the same
+// mix TestSchedulerEquivalence uses (deltas across every wheel level,
+// same-instant priority ties, cancels, handler-driven reschedules),
+// confined to one shard so the kernel is legal under the barrier
+// engine's no-cross-shard-mid-epoch rule.
+func buildBarrierKernel(e *Engine, rng *rand.Rand, order *[]int, labelBase int) {
+	deltas := []Duration{0, 1, 3, 63, 64, 65, 1000, 4095, 4096, 9999,
+		262144, 1000000, 10 * Microsecond, 3 * Millisecond}
+	var ids []EventID
+	label := labelBase
+	var schedule func(depth int)
+	schedule = func(depth int) {
+		n := 5 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			l := label
+			label++
+			at := e.Now().Add(deltas[rng.Intn(len(deltas))])
+			prio := int8(rng.Intn(3))
+			id := e.SchedulePrio(at, prio, func(e *Engine) {
+				*order = append(*order, l)
+				if depth < 3 && rng.Intn(4) == 0 {
+					schedule(depth + 1)
+				}
+			})
+			ids = append(ids, id)
+			if len(ids) > 3 && rng.Intn(5) == 0 {
+				e.Cancel(ids[rng.Intn(len(ids))])
+			}
+		}
+	}
+	schedule(0)
+}
+
+// TestBarrierSingleShardMatchesSerial: driving one shard through the
+// barrier engine in epoch chunks dispatches the identical sequence —
+// same order, same step count, same final clock — as the shard's own
+// Run. This is the bit-identicality claim the parallel core path
+// relies on for single-channel configurations.
+func TestBarrierSingleShardMatchesSerial(t *testing.T) {
+	epochs := []Duration{64, 1000, 4096, 50 * Microsecond, 10 * Millisecond}
+	for seed := int64(1); seed <= 10; seed++ {
+		var refOrder []int
+		ref := New()
+		buildBarrierKernel(ref, rand.New(rand.NewSource(seed)), &refOrder, 0)
+		ref.Run()
+		for _, epoch := range epochs {
+			var order []int
+			e := New()
+			buildBarrierKernel(e, rand.New(rand.NewSource(seed)), &order, 0)
+			be, err := NewBarrierEngine([]*Engine{e}, epoch, 1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := be.Run(context.Background(), BarrierHooks{}); err != nil {
+				t.Fatalf("seed %d epoch %v: %v", seed, epoch, err)
+			}
+			if len(order) != len(refOrder) {
+				t.Fatalf("seed %d epoch %v: %d dispatches, serial %d",
+					seed, epoch, len(order), len(refOrder))
+			}
+			for i := range order {
+				if order[i] != refOrder[i] {
+					t.Fatalf("seed %d epoch %v: order diverges at %d: %d vs %d",
+						seed, epoch, i, order[i], refOrder[i])
+				}
+			}
+			if e.Steps() != ref.Steps() {
+				t.Fatalf("seed %d epoch %v: steps %d, serial %d", seed, epoch, e.Steps(), ref.Steps())
+			}
+			if e.Now() != ref.Now() {
+				t.Fatalf("seed %d epoch %v: clock %v, serial %v", seed, epoch, e.Now(), ref.Now())
+			}
+		}
+	}
+}
+
+// barrierRun executes one seeded multi-shard scenario: every shard
+// carries its own random kernel, and the barrier hook injects
+// cross-shard events — schedules into other shards at offsets that
+// straddle epoch boundaries, plus cancels and reschedules of earlier
+// cross-shard events — from a hook-local rng. The hook runs
+// single-threaded between epochs, so the whole scenario is a pure
+// function of the seed; the returned per-shard dispatch logs must be
+// identical at any worker count.
+func barrierRun(t *testing.T, seed int64, shards, workers int, epoch Duration) ([][]int, []uint64) {
+	t.Helper()
+	engs := make([]*Engine, shards)
+	logs := make([][]int, shards)
+	for i := range engs {
+		engs[i] = New()
+		order := &logs[i]
+		buildBarrierKernel(engs[i], rand.New(rand.NewSource(seed*100+int64(i))), order, i*1_000_000)
+	}
+	be, err := NewBarrierEngine(engs, epoch, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hookRng := rand.New(rand.NewSource(seed * 977))
+	crossLabel := 500_000_000
+	type crossEvt struct {
+		shard int
+		id    EventID
+	}
+	var pending []crossEvt
+	barriers := 0
+	hooks := BarrierHooks{
+		Barrier: func(end Time) error {
+			barriers++
+			if barriers > 200 {
+				return nil // bound the cross-traffic so the run terminates
+			}
+			// Offsets on both sides of the next epoch boundary, so
+			// cross-shard events land mid-epoch, on the first instant of
+			// the next epoch, and several epochs out.
+			offsets := []Duration{1, 3, Duration(epoch) / 2, Duration(epoch),
+				Duration(epoch) + 1, 3*Duration(epoch) + 7}
+			n := hookRng.Intn(4)
+			for i := 0; i < n; i++ {
+				s := hookRng.Intn(shards)
+				at := end.Add(offsets[hookRng.Intn(len(offsets))])
+				l := crossLabel
+				crossLabel++
+				order := &logs[s]
+				id := engs[s].SchedulePrio(at, int8(hookRng.Intn(3)), func(e *Engine) {
+					*order = append(*order, l)
+				})
+				pending = append(pending, crossEvt{shard: s, id: id})
+			}
+			// Cross-shard cancel: stale IDs (already fired) are safe
+			// no-ops, and whether an ID is stale is itself deterministic.
+			if len(pending) > 2 && hookRng.Intn(3) == 0 {
+				c := pending[hookRng.Intn(len(pending))]
+				engs[c.shard].Cancel(c.id)
+			}
+			return nil
+		},
+	}
+	if err := be.Run(context.Background(), hooks); err != nil {
+		t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+	}
+	steps := make([]uint64, shards)
+	for i, e := range engs {
+		steps[i] = e.Steps()
+	}
+	return logs, steps
+}
+
+// TestBarrierEquivalenceAcrossWorkers is the parallel extension of the
+// scheduler-equivalence fuzz kernel: random per-shard workloads with
+// cross-shard barrier traffic straddling epoch boundaries must produce
+// bit-identical per-shard dispatch sequences at 1, 2 and 4 workers.
+// Run under -race in CI, it is also the data-race gate for the worker
+// pool's barrier memory ordering.
+func TestBarrierEquivalenceAcrossWorkers(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		for _, epoch := range []Duration{1000, 50 * Microsecond, Millisecond} {
+			refLogs, refSteps := barrierRun(t, seed, 4, 1, epoch)
+			for _, workers := range []int{2, 4} {
+				logs, steps := barrierRun(t, seed, 4, workers, epoch)
+				for s := range logs {
+					if len(logs[s]) != len(refLogs[s]) {
+						t.Fatalf("seed %d epoch %v workers %d shard %d: %d dispatches, ref %d",
+							seed, epoch, workers, s, len(logs[s]), len(refLogs[s]))
+					}
+					for i := range logs[s] {
+						if logs[s][i] != refLogs[s][i] {
+							t.Fatalf("seed %d epoch %v workers %d shard %d: order diverges at %d",
+								seed, epoch, workers, s, i)
+						}
+					}
+					if steps[s] != refSteps[s] {
+						t.Fatalf("seed %d epoch %v workers %d shard %d: steps %d, ref %d",
+							seed, epoch, workers, s, steps[s], refSteps[s])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBarrierPrepareAndNextInput: external inputs surfaced through
+// NextInput keep the epoch loop alive across otherwise-empty stretches,
+// and Prepare stages them into the right shard before the epoch runs.
+func TestBarrierPrepareAndNextInput(t *testing.T) {
+	type input struct {
+		at    Time
+		shard int
+		label int
+	}
+	// Long silent gaps between inputs force the skip-ahead path.
+	inputs := []input{
+		{at: 10, shard: 0, label: 1},
+		{at: 10, shard: 1, label: 2},
+		{at: Time(3 * Millisecond), shard: 1, label: 3},
+		{at: Time(90 * Millisecond), shard: 0, label: 4},
+	}
+	run := func(workers int) [][]int {
+		engs := []*Engine{New(), New()}
+		logs := make([][]int, 2)
+		idx := 0
+		hooks := BarrierHooks{
+			NextInput: func() (Time, bool) {
+				if idx >= len(inputs) {
+					return 0, false
+				}
+				return inputs[idx].at, true
+			},
+			Prepare: func(end Time) error {
+				for idx < len(inputs) && inputs[idx].at <= end {
+					in := inputs[idx]
+					idx++
+					order := &logs[in.shard]
+					engs[in.shard].SchedulePrio(in.at, 1, func(e *Engine) {
+						*order = append(*order, in.label)
+						if in.label == 2 {
+							// Follow-up work several epochs out, so shard 1
+							// stays non-empty across a silent input gap.
+							e.After(2*Millisecond, func(e *Engine) {
+								*order = append(*order, -2)
+							})
+						}
+					})
+				}
+				return nil
+			},
+		}
+		be, err := NewBarrierEngine(engs, 50*Microsecond, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := be.Run(context.Background(), hooks); err != nil {
+			t.Fatal(err)
+		}
+		if idx != len(inputs) {
+			t.Fatalf("workers %d: only %d of %d inputs delivered", workers, idx, len(inputs))
+		}
+		return logs
+	}
+	want := [][]int{{1, 4}, {2, -2, 3}}
+	for _, workers := range []int{1, 2} {
+		logs := run(workers)
+		for s := range want {
+			if len(logs[s]) != len(want[s]) {
+				t.Fatalf("workers %d shard %d: got %v, want %v", workers, s, logs[s], want[s])
+			}
+			for i := range want[s] {
+				if logs[s][i] != want[s][i] {
+					t.Fatalf("workers %d shard %d: got %v, want %v", workers, s, logs[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// TestBarrierEngineValidation pins the constructor's loud errors and
+// the worker clamp.
+func TestBarrierEngineValidation(t *testing.T) {
+	if _, err := NewBarrierEngine(nil, Microsecond, 1); err == nil {
+		t.Error("no shards accepted")
+	}
+	if _, err := NewBarrierEngine([]*Engine{New()}, 0, 1); err == nil {
+		t.Error("zero epoch accepted")
+	}
+	if _, err := NewBarrierEngine([]*Engine{New()}, -Microsecond, 1); err == nil {
+		t.Error("negative epoch accepted")
+	}
+	if _, err := NewBarrierEngine([]*Engine{New()}, Microsecond, 0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := NewBarrierEngine([]*Engine{New(), nil}, Microsecond, 1); err == nil {
+		t.Error("nil shard accepted")
+	}
+	be, err := NewBarrierEngine([]*Engine{New(), New()}, Microsecond, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if be.Workers() != 2 {
+		t.Fatalf("workers not clamped to shard count: %d", be.Workers())
+	}
+}
+
+// TestBarrierRunCancelled: a cancelled context aborts the epoch loop
+// with the context's error on both the inline and pooled paths.
+func TestBarrierRunCancelled(t *testing.T) {
+	for _, workers := range []int{1, 2} {
+		engs := []*Engine{New(), New()}
+		for _, e := range engs {
+			n := 0
+			var tick Handler
+			tick = func(e *Engine) {
+				if n++; n < 1000 {
+					e.After(10, tick)
+				}
+			}
+			e.Schedule(0, tick)
+		}
+		be, err := NewBarrierEngine(engs, Microsecond, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if err := be.Run(ctx, BarrierHooks{}); err != context.Canceled {
+			t.Fatalf("workers %d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
