@@ -10,6 +10,7 @@
 //	             [-shard-worker] [-shard-listen addr]
 //	             [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	             [-channels 1,2,4]
+//	             [-tech ddr4-2400,lpddr4]
 //	             [-replay trace.dmt] [-replay-cp-limit 0.10] [-replay-groups 2]
 //	             [-fig all|2a|2b|3|4|5|6|7|8|9|10|table1|table2|dss|tech|seeds]
 //
@@ -52,6 +53,12 @@
 // sweep: each (workload, bus bandwidth) pair is re-simulated under a
 // channel-interleaved topology at every listed channel count, with the
 // per-channel bandwidth pinned to one chip's 3.2 GB/s rate.
+//
+// -tech names the memory power-model backends (registry names, see
+// dmamem.Techs) the tech extension compares and the figure 10 sweep
+// runs under; each backend's own memory rate sets the bandwidth ratio
+// on the x axis. Empty sweeps every registered backend in the tech
+// extension and keeps figure 10 on the legacy RDRAM default.
 package main
 
 import (
@@ -93,6 +100,7 @@ func realMain() int {
 	shardListen := flag.String("shard-listen", "", "serve sweep-shard sessions on this TCP address until interrupted")
 	shardTimeout := flag.Duration("shard-timeout", 0, "per-slice deadline before the coordinator retries on a fresh worker (0 = none)")
 	channelsFlag := flag.String("channels", "", "comma-separated channel counts added to the figure 10 sweep (e.g. 1,2,4; empty = legacy single-channel)")
+	techFlag := flag.String("tech", "", "comma-separated memory technologies for the tech extension and the figure 10 sweep (e.g. ddr4-2400,lpddr4; empty = every backend for tech, RDRAM-only for figure 10)")
 	replayFile := flag.String("replay", "", "replay a recorded .dmt trace through the file-backed feeder instead of running figures")
 	replayCP := flag.Float64("replay-cp-limit", 0.10, "CP-Limit for the -replay technique run")
 	replayGroups := flag.Int("replay-groups", 2, "PL popularity groups for -replay (0 = DMA-TA only)")
@@ -191,6 +199,11 @@ func realMain() int {
 	channels, err := parseChannels(*channelsFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dmamem-bench: %v\n", err)
+		return 2
+	}
+	techs, err := experiments.ParseTechList(*techFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dmamem-bench: bad -tech: %v\n", err)
 		return 2
 	}
 	var coord *experiments.Coordinator
@@ -322,6 +335,7 @@ func realMain() int {
 			Name:     experiments.GridFig10,
 			BusBW:    []float64{0.5e9, 1.064e9, 2e9, 3e9},
 			Channels: channels,
+			Techs:    techs,
 		})
 		if err != nil {
 			return err
@@ -340,7 +354,7 @@ func realMain() int {
 		return nil
 	})
 	run("tech", func() error {
-		rows, err := experiments.TechExtension(ctx, runner, fromStd(*duration), *seed)
+		rows, err := experiments.TechExtension(ctx, runner, fromStd(*duration), *seed, techs)
 		if err != nil {
 			return err
 		}

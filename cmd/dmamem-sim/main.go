@@ -10,6 +10,8 @@
 //	  -workload name     synthetic-st | synthetic-db | oltp-st | oltp-db
 //	  -duration 100ms    duration of the generated trace
 //	  -scheme name       baseline | dma-ta | dma-ta-pl | no-pm
+//	  -tech name         memory power-model backend (registry name,
+//	                     see dmamem.Techs; empty = the RDRAM default)
 //	  -cp-limit 0.10     client-perceived degradation bound for DMA-TA
 //	  -groups 2          popularity groups for PL
 //	  -compare           also run the baseline and report savings
@@ -49,6 +51,7 @@ func main() {
 	workload := flag.String("workload", "synthetic-st", "workload to generate")
 	duration := flag.Duration("duration", 100*time.Millisecond, "generated trace duration")
 	scheme := flag.String("scheme", "dma-ta-pl", "energy management scheme")
+	techFlag := flag.String("tech", "", "memory technology backend (registry name, e.g. ddr4-2400; empty = rdram)")
 	cpLimit := flag.Float64("cp-limit", 0.10, "CP-Limit for DMA-TA")
 	groups := flag.Int("groups", 2, "PL popularity groups")
 	seed := flag.Uint64("seed", 1, "generator seed")
@@ -64,6 +67,10 @@ func main() {
 	flag.Parse()
 
 	if err := validateConcurrency(*parallel, *workers); err != nil {
+		fatal(err)
+	}
+	tech, err := parseTech(*techFlag)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -85,7 +92,7 @@ func main() {
 	}
 
 	s := dmamem.Simulation{
-		CPLimit: *cpLimit, PLGroups: *groups,
+		CPLimit: *cpLimit, PLGroups: *groups, MemoryTech: tech,
 		Channels: *channels, ChannelStripePages: *stripePages, ChannelBandwidth: *channelBW,
 		Workers: engineWorkers(*workers),
 	}
@@ -209,6 +216,24 @@ func validateConcurrency(parallel, workers int) error {
 		return fmt.Errorf("-workers %d must be at least 1 (1 selects the serial reference engine)", workers)
 	}
 	return nil
+}
+
+// parseTech resolves the single -tech value through the shared
+// experiments.ParseTechList helper (trimmed, lower-cased, validated
+// against the registry). dmamem-sim runs one simulation, so lists are
+// rejected here with a pointer at dmamem-bench.
+func parseTech(s string) (string, error) {
+	techs, err := experiments.ParseTechList(s)
+	if err != nil {
+		return "", err
+	}
+	switch len(techs) {
+	case 0:
+		return "", nil
+	case 1:
+		return techs[0], nil
+	}
+	return "", fmt.Errorf("-tech %q names %d technologies; dmamem-sim runs one (dmamem-bench -tech sweeps lists)", s, len(techs))
 }
 
 // engineWorkers maps the -workers flag onto Simulation.Workers: 1

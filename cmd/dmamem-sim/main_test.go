@@ -36,6 +36,37 @@ func TestValidateConcurrency(t *testing.T) {
 	}
 }
 
+// TestParseTech pins the -tech flag handling: values route through
+// the shared tech-list parser (trimming, case folding, registry
+// validation), the empty flag means the default technology, and lists
+// are rejected with a pointer at dmamem-bench.
+func TestParseTech(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    string
+		wantErr string
+	}{
+		{"", "", ""},
+		{"  ", "", ""},
+		{"rdram", "rdram", ""},
+		{" DDR4-2400 ", "ddr4-2400", ""},
+		{"sram", "", "unknown memory technology"},
+		{"ddr4-2400,lpddr4", "", "dmamem-sim runs one"},
+	}
+	for _, tc := range cases {
+		got, err := parseTech(tc.in)
+		if tc.wantErr == "" {
+			if err != nil || got != tc.want {
+				t.Errorf("parseTech(%q) = %q, %v; want %q", tc.in, got, err, tc.want)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parseTech(%q) = %v, want error containing %q", tc.in, err, tc.wantErr)
+		}
+	}
+}
+
 // TestEngineWorkers pins the flag→config mapping: -workers 1 keeps
 // Simulation.Workers at 0 (the serial reference engine), higher counts
 // pass through to the parallel engine.

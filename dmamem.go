@@ -34,6 +34,7 @@ package dmamem
 import (
 	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"dmamem/internal/bus"
@@ -112,15 +113,22 @@ type Simulation struct {
 	// BusBandwidth in bytes/s. Zero selects the PCI-X default,
 	// 1.064 GB/s; negative values are rejected.
 	BusBandwidth float64
-	// StaticMode, when non-empty ("standby", "nap", "powerdown"),
-	// replaces the dynamic threshold policy with a static one. Empty
-	// keeps the dynamic threshold policy; any other string is
-	// rejected.
+	// StaticMode, when non-empty, replaces the dynamic threshold
+	// policy with a static one that parks idle chips in the named
+	// low-power state of the selected technology ("standby", "nap" or
+	// "powerdown" for the RDRAM default; "self-refresh" and friends
+	// for the DDR3/DDR4/LPDDR4 backends). Empty keeps the dynamic
+	// threshold policy; a name the technology's state machine does not
+	// have is rejected, listing the valid ones.
 	StaticMode string
-	// MemoryTech selects the memory technology: "" or "rdram" for the
-	// paper's 3.2 GB/s RDRAM part, "ddr" for a 2.1 GB/s DDR400-class
-	// part (Section 5.4's "other memory technologies"). Any other
-	// string is rejected.
+	// MemoryTech selects the memory technology by registry name:
+	// "" or "rdram" for the paper's 3.2 GB/s RDRAM part, "ddr400" (or
+	// its historical alias "ddr") for a 2.1 GB/s DDR400-class part
+	// (Section 5.4's "other memory technologies"), "ddr3-1600",
+	// "ddr4-2400" and "lpddr4" for calibrated modern state machines
+	// with their own power-down and self-refresh chains. Names are
+	// trimmed and case-insensitive; Techs enumerates them. Any other
+	// string is rejected, listing the registered technologies.
 	MemoryTech string
 	// Channels groups the 32 chips into that many independently
 	// clocked memory channels with channel-interleaved page mapping
@@ -186,15 +194,12 @@ func (s Simulation) Validate() error {
 	if s.BusBandwidth < 0 {
 		return fmt.Errorf("dmamem: negative BusBandwidth %v; 0 selects the PCI-X default", s.BusBandwidth)
 	}
-	switch s.StaticMode {
-	case "", "standby", "nap", "powerdown":
-	default:
-		return fmt.Errorf("dmamem: unknown static mode %q (want standby, nap or powerdown)", s.StaticMode)
+	model, err := s.memModel()
+	if err != nil {
+		return err
 	}
-	switch s.MemoryTech {
-	case "", "rdram", "ddr":
-	default:
-		return fmt.Errorf("dmamem: unknown memory technology %q (want rdram or ddr)", s.MemoryTech)
+	if _, err := staticPolicy(model, s.StaticMode); err != nil {
+		return err
 	}
 	if s.Channels < 0 {
 		return fmt.Errorf("dmamem: negative Channels %d; 0 selects the single-channel default", s.Channels)
@@ -241,11 +246,7 @@ func (s Simulation) coreConfig() (core.Config, error) {
 		}
 		cfg.Buses = bc
 	}
-	switch s.MemoryTech {
-	case "", "rdram":
-	case "ddr":
-		cfg.MemSpec = energy.DDR400()
-	}
+	cfg.Tech = s.MemoryTech
 	if s.Channels != 0 {
 		cfg.Topology = memsys.Topology{
 			Channels:         s.Channels,
@@ -253,13 +254,18 @@ func (s Simulation) coreConfig() (core.Config, error) {
 			ChannelBandwidth: s.ChannelBandwidth,
 		}
 	}
-	switch s.StaticMode {
-	case "standby":
-		cfg.Policy = &policy.Static{Mode: 1}
-	case "nap":
-		cfg.Policy = &policy.Static{Mode: 2}
-	case "powerdown":
-		cfg.Policy = &policy.Static{Mode: 3}
+	if s.StaticMode != "" {
+		// Validate (above) already resolved both; errors are impossible
+		// here and would be a registry/model inconsistency.
+		model, err := s.memModel()
+		if err != nil {
+			return cfg, err
+		}
+		static, err := staticPolicy(model, s.StaticMode)
+		if err != nil {
+			return cfg, err
+		}
+		cfg.Policy = static
 	}
 	switch s.Technique {
 	case NoPowerManagement:
@@ -284,6 +290,39 @@ func (s Simulation) coreConfig() (core.Config, error) {
 	}
 	return cfg, nil
 }
+
+// memModel resolves MemoryTech through the technology registry — the
+// single lookup behind Validate and coreConfig (there is deliberately
+// no second string switch to fall out of sync). Unknown names error
+// loudly, listing every registered technology.
+func (s Simulation) memModel() (*energy.Model, error) {
+	m, err := energy.Lookup(s.MemoryTech)
+	if err != nil {
+		return nil, fmt.Errorf("dmamem: %w", err)
+	}
+	return m, nil
+}
+
+// staticPolicy resolves StaticMode against the technology model's
+// state names. Empty means no static policy; the operating state and
+// unknown names are rejected with the model's low-power states listed.
+func staticPolicy(m *energy.Model, mode string) (*policy.Static, error) {
+	if mode == "" {
+		return nil, nil
+	}
+	st, err := m.StateIndex(mode)
+	if err != nil || st == energy.Active {
+		return nil, fmt.Errorf("dmamem: unknown static mode %q for %s (want one of %s)",
+			mode, m.Name, strings.Join(m.StateNames()[1:], ", "))
+	}
+	return &policy.Static{Mode: st}, nil
+}
+
+// Techs returns the registered memory technologies MemoryTech accepts,
+// sorted by canonical name (the empty string additionally selects the
+// paper's RDRAM default). New backends registered through
+// internal/energy's registry appear here automatically.
+func Techs() []string { return energy.Techs() }
 
 // internalTrace unwraps a possibly-nil public trace for the core
 // layer, which accepts nil when a Simulation.TraceFile streams the

@@ -96,10 +96,10 @@ type Config struct {
 	// InitialState chips start in; the default (zero value) is Active,
 	// letting the policy idle them down immediately.
 	InitialState energy.State
-	// MemSpec selects the memory technology power model; nil means the
-	// paper's RDRAM part. Geometry.ChipBandwidth should match the
-	// spec's bandwidth.
-	MemSpec *energy.Spec
+	// Model selects the memory technology power-state machine; nil
+	// means the paper's RDRAM part (the registry default).
+	// Geometry.ChipBandwidth should match the model's bandwidth.
+	Model *energy.Model
 	// Partition, when non-nil, restricts this controller to the chips
 	// of one topology channel: foreign chips are never instantiated and
 	// addressing one is a programming error that panics loudly. The
@@ -151,9 +151,14 @@ func (c *Config) Validate() error {
 	}
 	// Policies that can check themselves (Dynamic's threshold chain,
 	// Static's park mode) are validated with the rest of the config.
-	if v, ok := c.Policy.(interface{ Validate() error }); ok {
-		if err := v.Validate(); err != nil {
-			return err
+	// Model-aware policies are deferred to New, which checks them
+	// against the resolved technology model instead (a park mode legal
+	// for a 5-state DDR4 machine is illegal for a 3-state LPDDR4 one).
+	if _, modelAware := c.Policy.(policy.ModelValidator); !modelAware {
+		if v, ok := c.Policy.(interface{ Validate() error }); ok {
+			if err := v.Validate(); err != nil {
+				return err
+			}
 		}
 	}
 	if c.TA != nil {
@@ -230,7 +235,7 @@ type chipState struct {
 type Controller struct {
 	cfg    Config
 	eng    *sim.Engine
-	spec   *energy.Spec
+	model  *energy.Model
 	chips  []*chipState
 	alloc  *bus.Allocator
 	mapper memsys.Mapper
@@ -320,17 +325,32 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 	if cfg.Partition != nil && cfg.Partition.BusCaps != nil {
 		copy(busCaps, cfg.Partition.BusCaps)
 	}
-	spec := cfg.MemSpec
-	if spec == nil {
-		spec = energy.RDRAM1600()
+	model := cfg.Model
+	if model == nil {
+		var err error
+		if model, err = energy.Lookup(energy.DefaultTech); err != nil {
+			return nil, err
+		}
 	}
-	if err := spec.Validate(); err != nil {
+	if err := model.Validate(); err != nil {
 		return nil, err
+	}
+	// Policies that know their state-machine requirements are checked
+	// against the resolved model (in preference to the model-blind
+	// Validate already run by cfg.Validate).
+	if v, ok := cfg.Policy.(policy.ModelValidator); ok {
+		if err := v.ValidateForModel(model); err != nil {
+			return nil, err
+		}
+	}
+	if int(cfg.InitialState) >= model.NumStates() {
+		return nil, fmt.Errorf("controller: initial state %d beyond the %d states of model %s",
+			int(cfg.InitialState), model.NumStates(), model.Name)
 	}
 	c := &Controller{
 		cfg:      cfg,
 		eng:      eng,
-		spec:     spec,
+		model:    model,
 		alloc:    bus.NewAllocator(busCaps, cfg.Geometry.ChipBandwidth),
 		mapper:   mapper,
 		lineTime: cfg.Geometry.CacheLineServiceTime(),
@@ -369,7 +389,7 @@ func New(eng *sim.Engine, cfg Config) (*Controller, error) {
 			continue
 		}
 		cs := &chipState{
-			chip:    memsys.NewChipWithSpec(i, cfg.InitialState, eng.Now(), spec),
+			chip:    memsys.NewChipWithModel(i, cfg.InitialState, eng.Now(), model),
 			channel: c.channelOf[i],
 		}
 		cs.policyFn = func(e *sim.Engine) { c.onPolicyTimer(cs, e) }

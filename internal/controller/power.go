@@ -174,7 +174,7 @@ func (c *Controller) chargeWake(cs *chipState) {
 	if pending == 0 {
 		return
 	}
-	wake := c.spec.WakeLatencyOf(cs.chip.State())
+	wake := c.model.WakeLatencyOf(cs.chip.State())
 	c.slack -= float64(wake) * float64(pending)
 }
 

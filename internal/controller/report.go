@@ -60,6 +60,9 @@ func MergeReports(scheme string, end sim.Time, ctls ...*Controller) *metrics.Rep
 	}
 	r.Channels = ctls[0].channels
 	r.ChannelEnergy = make([]energy.Breakdown, r.Channels)
+	r.StateNames = ctls[0].model.StateNames()
+	r.Residency = make([]sim.Duration, ctls[0].model.NumStates())
+	r.StateEnergy = make([]float64, ctls[0].model.NumStates())
 	var transferTime, servingTime sim.Duration
 	var xferTimes, gatherDelays metrics.DurationStats
 	var seenLayouts []*Controller
@@ -79,6 +82,9 @@ func MergeReports(scheme string, end sim.Time, ctls ...*Controller) *metrics.Rep
 			servingTime += cs.chip.ServingTime
 			for s, d := range cs.chip.Residency {
 				r.Residency[s] += d
+			}
+			for s, j := range cs.chip.StateEnergy {
+				r.StateEnergy[s] += j
 			}
 		}
 		if c.cfg.Layout != nil {

@@ -48,9 +48,17 @@ type Config struct {
 	// Mapper overrides the static baseline layout (nil = interleaved).
 	// Ignored when PL is set.
 	Mapper memsys.Mapper
-	// MemSpec selects the memory technology (nil = the paper's RDRAM
-	// part). When set and the geometry is defaulted, the chip bandwidth
-	// follows the spec.
+	// Tech selects the memory technology by registry name ("rdram",
+	// "ddr400", "ddr3-1600", "ddr4-2400", "lpddr4", or an alias).
+	// Empty means MemSpec if set, else the registry default (the
+	// paper's RDRAM part). Unknown names error loudly, listing the
+	// registered technologies. When the geometry is defaulted, the
+	// chip bandwidth follows the resolved model.
+	Tech string
+	// MemSpec selects the memory technology by explicit legacy 4-state
+	// spec; it is converted to its energy.Model form and produces
+	// bit-identical reports to registering the same numbers. Mutually
+	// exclusive with Tech.
 	MemSpec *energy.Spec
 	// MeterWindow fixes the energy metering window; zero means the
 	// trace duration plus 2 ms of drain. Comparisons between schemes
@@ -111,19 +119,42 @@ type Config struct {
 	BarrierEpoch sim.Duration
 }
 
-// withDefaults returns a fully populated copy.
-func (c Config) withDefaults() Config {
+// resolveModel turns the Tech / MemSpec selection into the technology
+// model the run will use. Exactly one may be set; neither means the
+// registry default (the paper's RDRAM part, bit-identical to the
+// legacy Spec arithmetic).
+func (c Config) resolveModel() (*energy.Model, error) {
+	if c.Tech != "" && c.MemSpec != nil {
+		return nil, fmt.Errorf("core: both Tech %q and MemSpec %q set; pass one", c.Tech, c.MemSpec.Name)
+	}
+	if c.MemSpec != nil {
+		m := c.MemSpec.Model()
+		if err := m.Validate(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return energy.Lookup(c.Tech)
+}
+
+// withDefaults resolves the technology model and returns a fully
+// populated copy.
+func (c Config) withDefaults() (Config, *energy.Model, error) {
+	model, err := c.resolveModel()
+	if err != nil {
+		return c, nil, err
+	}
 	if c.Geometry == (memsys.Geometry{}) {
 		c.Geometry = memsys.Default()
-		if c.MemSpec != nil {
-			c.Geometry.ChipBandwidth = c.MemSpec.Bandwidth
-		}
+		c.Geometry.ChipBandwidth = model.Bandwidth
 	}
 	if c.Buses == (bus.Config{}) {
 		c.Buses = bus.DefaultConfig()
 	}
 	if c.Policy == nil {
-		c.Policy = policy.NewDynamic()
+		// The technology's calibrated demotion chain; for the RDRAM
+		// default its waits equal the classic NewDynamic thresholds.
+		c.Policy = policy.ChainFor(model)
 	}
 	if c.WarmupFraction == 0 {
 		c.WarmupFraction = 1.0
@@ -138,7 +169,7 @@ func (c Config) withDefaults() Config {
 			c.Scheme = "baseline"
 		}
 	}
-	return c
+	return c, model, nil
 }
 
 // Result is the outcome of a run.
@@ -226,7 +257,10 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, erro
 		return nil, fmt.Errorf("core: both an in-memory trace %q and Config.TraceFile %q given; pass one",
 			tr.Name, cfg.TraceFile)
 	}
-	cfg = cfg.withDefaults()
+	cfg, model, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if err := validateWarmupFraction(cfg.WarmupFraction); err != nil {
 		return nil, err
 	}
@@ -258,7 +292,7 @@ func RunContext(ctx context.Context, cfg Config, tr *trace.Trace) (*Result, erro
 		Policy:             cfg.Policy,
 		TA:                 cfg.TA,
 		Mapper:             cfg.Mapper,
-		MemSpec:            cfg.MemSpec,
+		Model:              model,
 		InitialState:       0, // Active; the policy idles chips down immediately
 		FullScanAccounting: cfg.FullScanAccounting,
 	}

@@ -23,7 +23,10 @@ import (
 
 // runFileContext is RunContext for Config.TraceFile.
 func runFileContext(ctx context.Context, cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
+	cfg, model, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	if cfg.PerEventFeeder {
 		return nil, fmt.Errorf("core: PerEventFeeder needs an in-memory trace; TraceFile streams through the batched feeder")
 	}
@@ -48,7 +51,7 @@ func runFileContext(ctx context.Context, cfg Config) (*Result, error) {
 		Policy:             cfg.Policy,
 		TA:                 cfg.TA,
 		Mapper:             cfg.Mapper,
-		MemSpec:            cfg.MemSpec,
+		Model:              model,
 		InitialState:       0, // Active; the policy idles chips down immediately
 		FullScanAccounting: cfg.FullScanAccounting,
 	}

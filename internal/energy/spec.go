@@ -73,6 +73,22 @@ func DDR400() *Spec {
 	}
 }
 
+// Model converts the fixed 4-state Spec into the generic backend
+// Model, keeping the legacy enum state names (active, standby, nap,
+// powerdown), the legacy chain semantics (Deepen charges the
+// Active->target row), micro-naps in Nap, and the classic Dynamic
+// policy thresholds. Every power and latency is copied verbatim, so a
+// converted Spec produces bit-identical reports to the Spec itself.
+func (s *Spec) Model() *Model {
+	states := make([]StateSpec, numStates)
+	for st := Active; st < numStates; st++ {
+		states[st] = StateSpec{Name: st.String(), Power: s.Powers[st]}
+	}
+	return ChainModel(s.Name, s.CycleTime, s.Bandwidth,
+		states, s.Down[:], s.Up[:], Nap,
+		[]sim.Duration{16 * MemoryCycle, 100 * sim.Nanosecond, 2 * sim.Microsecond})
+}
+
 // Validate reports a descriptive error for inconsistent specs.
 func (s *Spec) Validate() error {
 	if s.Name == "" {

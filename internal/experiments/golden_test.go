@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -12,6 +13,7 @@ import (
 	"testing"
 
 	"dmamem/internal/core"
+	"dmamem/internal/energy"
 	"dmamem/internal/metrics"
 	"dmamem/internal/sim"
 )
@@ -154,6 +156,49 @@ func TestGoldenReports(t *testing.T) {
 				}
 				file := fmt.Sprintf("%s_%s.json", strings.ToLower(name), sc.label)
 				writeOrCompareGolden(t, goldenPath(t, file), res.Report)
+			})
+		}
+	}
+}
+
+// goldenTechs are the non-default power-model backends the corpus
+// pins: a 5-state DDR4 part and a 3-state LPDDR4 part, so the corpus
+// covers state machines both deeper and shallower than RDRAM's four.
+var goldenTechs = []string{"ddr4-2400", "lpddr4"}
+
+// TestGoldenTechReports diffs Synthetic-St under every Table 2 scheme
+// and non-default technology backend against the committed corpus, and
+// holds every report to the per-state energy identity: resident state
+// energies plus transition and migration energy recover the system
+// total (up to float summation order).
+func TestGoldenTechReports(t *testing.T) {
+	s := goldenSuite()
+	tr, err := s.workload("Synthetic-St")
+	if err != nil {
+		t.Fatal(err)
+	}
+	window := tr.Duration() + 2*sim.Millisecond
+	for _, tech := range goldenTechs {
+		for _, sc := range goldenSchemes() {
+			tech, sc := tech, sc
+			t.Run(tech+"/"+sc.label, func(t *testing.T) {
+				cfg := sc.cfg
+				cfg.Tech = tech
+				cfg.MeterWindow = window
+				res, err := core.Run(cfg, tr)
+				if err != nil {
+					t.Fatal(err)
+				}
+				r := res.Report
+				sum := r.Energy[energy.CatTransition] + r.Energy[energy.CatMigration]
+				for _, j := range r.StateEnergy {
+					sum += j
+				}
+				if total := r.TotalEnergy(); math.Abs(sum-total) > 1e-9*math.Max(1, math.Abs(total)) {
+					t.Errorf("state energies sum to %.12g J, total %.12g J", sum, total)
+				}
+				file := fmt.Sprintf("synthetic-st_%s_%s.json", sc.label, tech)
+				writeOrCompareGolden(t, goldenPath(t, file), r)
 			})
 		}
 	}

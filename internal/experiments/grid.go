@@ -8,6 +8,7 @@ import (
 
 	"dmamem/internal/bus"
 	"dmamem/internal/core"
+	"dmamem/internal/energy"
 	"dmamem/internal/memsys"
 	"dmamem/internal/sim"
 	"dmamem/internal/synth"
@@ -99,10 +100,17 @@ type GridSpec struct {
 	// (workload, bus bandwidth) pair is additionally swept over these
 	// channel counts, each simulated under a memsys.Topology with that
 	// many independently clocked channels (channel bandwidth pinned to
-	// one chip's 3.2 GB/s rate, DDR style). Empty means the legacy
+	// one chip's rate, DDR style). Empty means the legacy
 	// single-channel RDRAM points, byte-identical to specs that predate
 	// the field.
 	Channels []int `json:",omitempty"`
+	// Techs adds a memory-technology dimension to GridFig10: every
+	// point is additionally swept over these power-model backends
+	// (registry names, see energy.Techs), with the bandwidth ratio on
+	// the x axis derived from each backend's own memory rate. Empty
+	// means the legacy RDRAM points, byte-identical to specs that
+	// predate the field.
+	Techs []string `json:",omitempty"`
 	// Points is the number of trivial points of GridNoop.
 	Points int `json:",omitempty"`
 }
@@ -130,6 +138,13 @@ func (s *Suite) resolveGrid(gs GridSpec) (*resolvedGrid, error) {
 	case GridFig9:
 		return s.fig9Grid(gs), nil
 	case GridFig10:
+		// Resolve technologies eagerly so a typo fails the whole grid
+		// loudly instead of erroring one point at a time mid-sweep.
+		for _, tech := range gs.Techs {
+			if _, err := energy.Lookup(tech); err != nil {
+				return nil, err
+			}
+		}
 		return s.fig10Grid(gs), nil
 	case GridNoop:
 		return &resolvedGrid{
@@ -366,9 +381,11 @@ func (s *Suite) fig9Grid(gs GridSpec) *resolvedGrid {
 }
 
 // fig10Grid enumerates the bandwidth-ratio sweep: one point per
-// (workload, bus bandwidth, channel count, scheme), memory rate fixed
-// at 3.2 GB/s. Without Channels it degenerates to the classic
-// (workload, bus bandwidth, scheme) enumeration, byte for byte.
+// (workload, bus bandwidth, channel count, technology, scheme), the
+// memory rate taken from the technology backend (3.2 GB/s for the
+// legacy RDRAM default). Without Channels and Techs it degenerates to
+// the classic (workload, bus bandwidth, scheme) enumeration, byte for
+// byte.
 func (s *Suite) fig10Grid(gs GridSpec) *resolvedGrid {
 	workloads := gs.Workloads
 	if len(workloads) == 0 {
@@ -378,27 +395,38 @@ func (s *Suite) fig10Grid(gs GridSpec) *resolvedGrid {
 	if len(chans) == 0 {
 		chans = []int{0} // legacy single-channel RDRAM point
 	}
+	techs := gs.Techs
+	if len(techs) == 0 {
+		techs = []string{""} // legacy RDRAM point, no name suffix
+	}
 	type spec struct {
 		workload string
 		bw       float64
-		channels int // 0 = topology disabled
+		channels int    // 0 = topology disabled
+		tech     string // "" = legacy RDRAM default
 		scheme   int
 	}
 	var specs []spec
 	for _, name := range workloads {
 		for _, bw := range gs.BusBW {
 			for _, ch := range chans {
-				for si := range sweepSchemes {
-					specs = append(specs, spec{name, bw, ch, si})
+				for _, tech := range techs {
+					for si := range sweepSchemes {
+						specs = append(specs, spec{name, bw, ch, tech, si})
+					}
 				}
 			}
 		}
 	}
 	schemeName := func(sp spec) string {
-		if sp.channels == 0 {
-			return sweepSchemes[sp.scheme]
+		name := sweepSchemes[sp.scheme]
+		if sp.channels > 0 {
+			name = fmt.Sprintf("%s-%dch", name, sp.channels)
 		}
-		return fmt.Sprintf("%s-%dch", sweepSchemes[sp.scheme], sp.channels)
+		if sp.tech != "" {
+			name = name + "@" + sp.tech
+		}
+		return name
 	}
 	return &resolvedGrid{
 		n: len(specs),
@@ -412,12 +440,21 @@ func (s *Suite) fig10Grid(gs GridSpec) *resolvedGrid {
 			if err != nil {
 				return nil, 0, err
 			}
+			memBW := 3.2e9 // the legacy RDRAM chip rate
+			if sp.tech != "" {
+				m, err := energy.Lookup(sp.tech)
+				if err != nil {
+					return nil, 0, err
+				}
+				memBW = m.Bandwidth
+			}
 			bc := bus.Config{Count: 3, Bandwidth: sp.bw}
-			base := core.Config{Buses: bc}
+			base := core.Config{Buses: bc, Tech: sp.tech}
 			tech := sweepSchemeConfig(sweepSchemes[sp.scheme])
 			tech.Buses = bc
+			tech.Tech = sp.tech
 			if sp.channels > 0 {
-				topo := memsys.Topology{Channels: sp.channels, ChannelBandwidth: 3.2e9}
+				topo := memsys.Topology{Channels: sp.channels, ChannelBandwidth: memBW}
 				base.Topology = topo
 				tech.Topology = topo
 			}
@@ -426,7 +463,7 @@ func (s *Suite) fig10Grid(gs GridSpec) *resolvedGrid {
 				return nil, 0, err
 			}
 			return SweepPoint{Workload: sp.workload, Scheme: schemeName(sp),
-				X: 3.2e9 / sp.bw, Savings: savings}, events, nil
+				X: memBW / sp.bw, Savings: savings}, events, nil
 		},
 	}
 }

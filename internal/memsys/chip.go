@@ -40,6 +40,10 @@ func (p Phase) String() string {
 // that every picosecond of simulated time is charged to exactly one
 // energy category.
 //
+// The state machine is whatever the technology's energy.Model says it
+// is — the paper's 4-state RDRAM chain by default, but equally DDR4's
+// five states or LPDDR4's three.
+//
 // While the chip is resident in Active, the controller owns the
 // accounting (it knows the utilization of each piecewise-constant
 // interval) and advances the chip's cursor through AccountActive.
@@ -47,7 +51,7 @@ func (p Phase) String() string {
 type Chip struct {
 	ID    int
 	Meter energy.Meter
-	spec  *energy.Spec
+	model *energy.Model
 
 	state   energy.State // resident state, or target while transitioning
 	phase   Phase
@@ -60,9 +64,15 @@ type Chip struct {
 	ActiveTime   sim.Duration // total time charged while resident Active
 	TransferTime sim.Duration // active time during which >=1 DMA transfer was in progress
 	ServingTime  sim.Duration // portion of TransferTime actually serving DMA data
-	// Residency is the time spent resident in each state (micro-naps
-	// count toward Nap; transition time is excluded).
-	Residency [4]sim.Duration
+	// Residency is the time spent resident in each state, indexed like
+	// the model's States (micro-naps count toward the model's MicroNap
+	// state; transition time is excluded).
+	Residency []sim.Duration
+	// StateEnergy is the resident energy per state in joules, indexed
+	// like Residency. It mirrors every resident Meter charge, so
+	// sum(StateEnergy) plus the transition and migration categories
+	// equals the meter total (up to float summation order).
+	StateEnergy []float64
 
 	// Pending active-span components, accumulated as exact integer
 	// durations and converted to joules in one Meter add per category
@@ -85,17 +95,33 @@ func NewChip(id int, start energy.State, now sim.Time) *Chip {
 	return NewChipWithSpec(id, start, now, energy.RDRAM1600())
 }
 
-// NewChipWithSpec returns a chip using an explicit technology spec.
+// NewChipWithSpec returns a chip using a legacy 4-state technology
+// spec, converted to its Model form.
 func NewChipWithSpec(id int, start energy.State, now sim.Time, spec *energy.Spec) *Chip {
 	if spec == nil {
 		spec = energy.RDRAM1600()
 	}
-	return &Chip{ID: id, spec: spec, state: start, phase: PhaseResident, cursor: now,
+	return NewChipWithModel(id, start, now, spec.Model())
+}
+
+// NewChipWithModel returns a chip driven by an explicit technology
+// model. The starting state must exist in the model's machine.
+func NewChipWithModel(id int, start energy.State, now sim.Time, m *energy.Model) *Chip {
+	if m == nil {
+		m = energy.RDRAM1600().Model()
+	}
+	if int(start) >= m.NumStates() {
+		panic(fmt.Sprintf("memsys: chip %d starting state %d beyond the %d states of model %s",
+			id, int(start), m.NumStates(), m.Name))
+	}
+	return &Chip{ID: id, model: m, state: start, phase: PhaseResident, cursor: now,
+		Residency:   make([]sim.Duration, m.NumStates()),
+		StateEnergy: make([]float64, m.NumStates()),
 		sleepCounts: make(map[energy.State]int64)}
 }
 
-// Spec returns the chip's technology spec.
-func (c *Chip) Spec() *energy.Spec { return c.spec }
+// Model returns the chip's technology model.
+func (c *Chip) Model() *energy.Model { return c.model }
 
 // State returns the resident state, or the target state while a
 // transition is in flight.
@@ -126,6 +152,15 @@ func (c *Chip) checkCursor(now sim.Time) {
 	}
 }
 
+// chargeResident charges resident time in state s to the meter and the
+// per-state ledgers.
+func (c *Chip) chargeResident(cat energy.Category, s energy.State, d sim.Duration) {
+	power := c.model.Power(s)
+	c.Meter.Accumulate(cat, power, d)
+	c.Residency[s] += d
+	c.StateEnergy[s] += power * d.Seconds()
+}
+
 // BeginWake starts the transition from a resident low-power state to
 // Active. The elapsed low-power residence is charged, the transition
 // energy is charged eagerly (transitions are never aborted), and the
@@ -136,9 +171,8 @@ func (c *Chip) BeginWake(now sim.Time) sim.Time {
 		panic(fmt.Sprintf("memsys: chip %d BeginWake in phase %v state %v", c.ID, c.phase, c.state))
 	}
 	c.checkCursor(now)
-	c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(c.state), now.Sub(c.cursor))
-	c.Residency[c.state] += now.Sub(c.cursor)
-	tr := c.spec.UpFrom(c.state)
+	c.chargeResident(energy.CatLowPower, c.state, now.Sub(c.cursor))
+	tr := c.model.UpFrom(c.state)
 	c.Meter.Accumulate(energy.CatTransition, tr.Power, tr.Time)
 	c.phase = PhaseWaking
 	c.readyAt = now.Add(tr.Time)
@@ -176,7 +210,7 @@ func (c *Chip) BeginSleep(to energy.State, now sim.Time) sim.Time {
 		panic(fmt.Sprintf("memsys: chip %d BeginSleep with unaccounted active span [%v,%v)",
 			c.ID, c.cursor, now))
 	}
-	tr := c.spec.DownTo(to)
+	tr := c.model.TransitionFor(energy.Active, to)
 	c.Meter.Accumulate(energy.CatTransition, tr.Power, tr.Time)
 	c.phase = PhaseSleeping
 	c.state = to
@@ -198,9 +232,9 @@ func (c *Chip) CompleteSleep(now sim.Time) {
 }
 
 // Deepen moves a chip resident in one low-power state directly into a
-// deeper one (the dynamic policy's threshold chain). The residence so
-// far is charged; the down transition is charged with the deeper
-// state's transition row.
+// deeper one (a policy's demotion chain). The residence so far is
+// charged; the down transition is charged with the model's entry for
+// the hop.
 func (c *Chip) Deepen(to energy.State, now sim.Time) sim.Time {
 	if c.phase != PhaseResident || c.state == energy.Active {
 		panic(fmt.Sprintf("memsys: chip %d Deepen in phase %v state %v", c.ID, c.phase, c.state))
@@ -209,9 +243,8 @@ func (c *Chip) Deepen(to energy.State, now sim.Time) sim.Time {
 		panic(fmt.Sprintf("memsys: chip %d Deepen from %v to %v is not deeper", c.ID, c.state, to))
 	}
 	c.checkCursor(now)
-	c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(c.state), now.Sub(c.cursor))
-	c.Residency[c.state] += now.Sub(c.cursor)
-	tr := c.spec.DownTo(to)
+	c.chargeResident(energy.CatLowPower, c.state, now.Sub(c.cursor))
+	tr := c.model.TransitionFor(c.state, to)
 	c.Meter.Accumulate(energy.CatTransition, tr.Power, tr.Time)
 	c.phase = PhaseSleeping
 	c.state = to
@@ -277,20 +310,25 @@ func (c *Chip) AccountActiveSpan(to sim.Time, serving, proc, idleDMA, microNap s
 	c.TransferTime += serving + idleDMA
 	c.ServingTime += serving
 	c.Residency[energy.Active] += span - microNap
-	c.Residency[energy.Nap] += microNap
+	c.Residency[c.model.MicroNap] += microNap
 	c.cursor = to
 }
 
 // flushActive converts the accumulated active-span durations to joules
 // — one Meter add per category, in a fixed order — and zeroes them.
 func (c *Chip) flushActive() {
-	active := c.spec.Power(energy.Active)
+	active := c.model.Power(energy.Active)
+	napPower := c.model.Power(c.model.MicroNap)
 	c.Meter.Accumulate(energy.CatServing, active, c.pendServing)
 	c.Meter.Accumulate(energy.CatProcServing, active, c.pendProc)
 	c.Meter.Accumulate(energy.CatIdleDMA, active, c.pendIdleDMA)
 	c.Meter.Accumulate(energy.CatIdleThreshold, active, c.pendThreshold)
-	c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(energy.Nap), c.pendMicroNap)
+	c.Meter.Accumulate(energy.CatLowPower, napPower, c.pendMicroNap)
 	c.Meter.Accumulate(energy.CatTransition, MicroNapOverheadPower, c.pendMicroNap)
+	c.StateEnergy[energy.Active] += active*c.pendServing.Seconds() +
+		active*c.pendProc.Seconds() + active*c.pendIdleDMA.Seconds() +
+		active*c.pendThreshold.Seconds()
+	c.StateEnergy[c.model.MicroNap] += napPower * c.pendMicroNap.Seconds()
 	c.pendServing, c.pendProc, c.pendIdleDMA, c.pendThreshold, c.pendMicroNap = 0, 0, 0, 0, 0
 }
 
@@ -313,8 +351,7 @@ func (c *Chip) Close(now sim.Time) {
 	case c.state == energy.Active:
 		c.AccountActive(now, 0, 0, false)
 	default:
-		c.Meter.Accumulate(energy.CatLowPower, c.spec.Power(c.state), now.Sub(c.cursor))
-		c.Residency[c.state] += now.Sub(c.cursor)
+		c.chargeResident(energy.CatLowPower, c.state, now.Sub(c.cursor))
 		c.cursor = now
 	}
 }

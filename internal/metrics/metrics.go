@@ -48,9 +48,19 @@ type Report struct {
 	// Power-management activity.
 	Wakes      int64 // chip transitions out of a low-power state
 	Migrations int64 // PL page migrations performed
-	// Residency is the chip-time spent resident in each power state
-	// (active, standby, nap, powerdown), summed over chips.
-	Residency [4]sim.Duration
+	// StateNames are the power states of the technology model the run
+	// used, in depth order (for the RDRAM default: active, standby,
+	// nap, powerdown). They key Residency and StateEnergy.
+	StateNames []string
+	// Residency is the chip-time spent resident in each power state,
+	// indexed like StateNames, summed over chips.
+	Residency []sim.Duration
+	// StateEnergy is the resident energy per power state in joules,
+	// indexed like StateNames. Transition and migration energy is not
+	// attributable to residence in one state, so
+	// sum(StateEnergy) + Energy[transition] + Energy[migration]
+	// equals TotalEnergy (up to float summation order).
+	StateEnergy []float64
 
 	// SimulatedTime covered by the run.
 	SimulatedTime sim.Duration

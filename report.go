@@ -90,9 +90,21 @@ type Report struct {
 	// Wakes counts chip activations; MigratedPages counts PL moves.
 	Wakes         int64
 	MigratedPages int64
+	// States is the per-state residency and resident-energy breakdown,
+	// keyed by the technology model's state names in depth order
+	// (for the RDRAM default: active, standby, nap, powerdown).
+	// Transition time and energy are excluded — they are not
+	// attributable to residence in one state — so summing the state
+	// energies plus Breakdown.Transition and Breakdown.Migration
+	// recovers TotalEnergy.
+	States []StateBreakdown
 	// Residency is the aggregate chip-time spent resident in each power
 	// state (transition time excluded; burst-gap micro-naps count as
 	// Nap).
+	//
+	// Deprecated: Residency names the fixed RDRAM states; technologies
+	// with other state machines (see Techs) only fill the fields whose
+	// names they share. Use States, which covers every technology.
 	Residency StateResidency
 	// Mu is the slack parameter DMA-TA derived from the CP-Limit.
 	Mu float64
@@ -106,8 +118,36 @@ type StateResidency struct {
 	Active, Standby, Nap, Powerdown time.Duration
 }
 
+// StateBreakdown is one power state's share of a run: the chip-time
+// spent resident in it and the resident energy that time cost.
+type StateBreakdown struct {
+	// Name of the state in the technology model ("active",
+	// "precharge-powerdown", "self-refresh", ...).
+	Name string
+	// Residency is the aggregate chip-time resident in the state.
+	Residency time.Duration
+	// Energy resident in the state, joules.
+	Energy float64
+}
+
 func newReport(res *core.Result) *Report {
 	r := res.Report
+	states := make([]StateBreakdown, len(r.StateNames))
+	var legacy StateResidency
+	for i, name := range r.StateNames {
+		d := toStd(float64(r.Residency[i]))
+		states[i] = StateBreakdown{Name: name, Residency: d, Energy: r.StateEnergy[i]}
+		switch name {
+		case "active":
+			legacy.Active = d
+		case "standby":
+			legacy.Standby = d
+		case "nap":
+			legacy.Nap = d
+		case "powerdown":
+			legacy.Powerdown = d
+		}
+	}
 	return &Report{
 		Scheme:      r.Scheme,
 		TotalEnergy: r.TotalEnergy(),
@@ -128,14 +168,10 @@ func newReport(res *core.Result) *Report {
 		MeanGatherDelay:   toStd(float64(r.MeanGatherDelay)),
 		Wakes:             r.Wakes,
 		MigratedPages:     res.MigratedPages,
-		Residency: StateResidency{
-			Active:    toStd(float64(r.Residency[0])),
-			Standby:   toStd(float64(r.Residency[1])),
-			Nap:       toStd(float64(r.Residency[2])),
-			Powerdown: toStd(float64(r.Residency[3])),
-		},
-		Mu:     res.Mu,
-		Events: r.Events,
+		States:            states,
+		Residency:         legacy,
+		Mu:                res.Mu,
+		Events:            r.Events,
 	}
 }
 

@@ -1,0 +1,117 @@
+package dmamem
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestTechs pins the public backend enumeration: sorted registry
+// names, including the paper default and the DDR generations.
+func TestTechs(t *testing.T) {
+	techs := Techs()
+	if len(techs) < 5 {
+		t.Fatalf("only %d technologies registered: %v", len(techs), techs)
+	}
+	for _, want := range []string{"rdram", "ddr400", "ddr3-1600", "ddr4-2400", "lpddr4"} {
+		found := false
+		for _, got := range techs {
+			if got == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Techs() = %v is missing %q", techs, want)
+		}
+	}
+	for i := 1; i < len(techs); i++ {
+		if techs[i-1] >= techs[i] {
+			t.Fatalf("Techs() not sorted: %v", techs)
+		}
+	}
+}
+
+// TestUnknownTechErrorEnumerates pins the unknown-technology error to
+// name the bad value and list every registered backend, so a typo at
+// the API boundary is self-correcting.
+func TestUnknownTechErrorEnumerates(t *testing.T) {
+	err := Simulation{MemoryTech: "sram"}.Validate()
+	if err == nil {
+		t.Fatal("unknown technology accepted")
+	}
+	if !strings.Contains(err.Error(), `"sram"`) {
+		t.Errorf("error %q does not name the bad technology", err)
+	}
+	for _, name := range Techs() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list registered technology %q", err, name)
+		}
+	}
+}
+
+// TestRunNonDefaultTech runs the public API on backends with more and
+// fewer states than RDRAM's four and holds each Report to the
+// per-state contract: States carries the model's own names in depth
+// order, and the state energies plus transition and migration recover
+// TotalEnergy.
+func TestRunNonDefaultTech(t *testing.T) {
+	tr := shortSynthetic(t)
+	cases := []struct {
+		tech   string
+		states int
+		first  string
+	}{
+		{"ddr4-2400", 5, "active"},
+		{"lpddr4", 3, "active"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.tech, func(t *testing.T) {
+			rep, err := Run(Simulation{MemoryTech: tc.tech}, tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.States) != tc.states {
+				t.Fatalf("got %d states, want %d: %+v", len(rep.States), tc.states, rep.States)
+			}
+			if rep.States[0].Name != tc.first {
+				t.Errorf("first state %q, want %q", rep.States[0].Name, tc.first)
+			}
+			sum := rep.Breakdown.Transition + rep.Breakdown.Migration
+			var resided int
+			for _, st := range rep.States {
+				sum += st.Energy
+				if st.Residency > 0 {
+					resided++
+				}
+			}
+			if math.Abs(sum-rep.TotalEnergy) > 1e-9*math.Max(1, math.Abs(rep.TotalEnergy)) {
+				t.Errorf("state energies sum to %.12g J, total %.12g J", sum, rep.TotalEnergy)
+			}
+			if resided < 2 {
+				t.Errorf("only %d states saw residency; the policy never idled down", resided)
+			}
+		})
+	}
+}
+
+// TestStaticModeUsesTechStates proves StaticMode resolves against the
+// selected backend's own state names: DDR4's deep states are legal
+// under ddr4-2400 but not under the RDRAM default, and the rejection
+// enumerates the backend's low-power states.
+func TestStaticModeUsesTechStates(t *testing.T) {
+	tr := shortSynthetic(t)
+	rep, err := Run(Simulation{MemoryTech: "ddr4-2400", StaticMode: "self-refresh"}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalEnergy <= 0 {
+		t.Fatal("static self-refresh run produced no energy")
+	}
+	err = Simulation{StaticMode: "self-refresh"}.Validate()
+	if err == nil {
+		t.Fatal("RDRAM accepted a DDR-only state name")
+	}
+	if !strings.Contains(err.Error(), "powerdown") {
+		t.Errorf("error %q does not enumerate the model's states", err)
+	}
+}
