@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 
 	"dmamem/internal/experiments"
 )
@@ -35,6 +36,43 @@ func TestValidateConcurrency(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("validateConcurrency(%d, %d) = %v, want error containing %q",
 				tc.parallel, tc.workers, err, tc.wantErr)
+		}
+	}
+}
+
+// TestValidateEpoch pins the barrier flags' guard rails: negative
+// -epoch is always rejected; -epoch/-fixed-epoch without the parallel
+// engine are rejected instead of silently ignored, except under
+// -parallel-bench, which sweeps its own worker grid.
+func TestValidateEpoch(t *testing.T) {
+	cases := []struct {
+		epoch   time.Duration
+		fixed   bool
+		workers int
+		bench   bool
+		wantErr string
+	}{
+		{0, false, 1, false, ""},
+		{50 * time.Microsecond, false, 2, false, ""},
+		{time.Millisecond, true, 8, false, ""},
+		{50 * time.Microsecond, false, 1, true, ""}, // -parallel-bench takes -epoch alone
+		{-time.Microsecond, false, 4, false, "must be nonnegative"},
+		{-time.Microsecond, false, 1, true, "must be nonnegative"},
+		{50 * time.Microsecond, false, 1, false, "needs the parallel engine"},
+		{0, true, 1, false, "-fixed-epoch needs the parallel engine"},
+	}
+	for _, tc := range cases {
+		err := validateEpoch(tc.epoch, tc.fixed, tc.workers, tc.bench)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateEpoch(%v, %v, %d, %v) = %v, want nil",
+					tc.epoch, tc.fixed, tc.workers, tc.bench, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("validateEpoch(%v, %v, %d, %v) = %v, want error containing %q",
+				tc.epoch, tc.fixed, tc.workers, tc.bench, err, tc.wantErr)
 		}
 	}
 }

@@ -19,6 +19,8 @@
 //	  -workers N         event-loop goroutines inside each simulation
 //	                     (1 = serial reference engine; byte-identical
 //	                     reports at any count)
+//	  -epoch 50us        barrier period of the parallel engine (with
+//	                     -workers > 1); reports do not depend on it
 //	  -channels N        memory channels (0 = legacy single-channel)
 //	  -stripe-pages N    pages per channel stripe (with -channels)
 //	  -channel-bw B      per-channel bandwidth cap, bytes/s (with -channels)
@@ -62,11 +64,15 @@ func main() {
 	jsonOut := flag.Bool("json", false, "emit the report(s) as JSON")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "worker goroutines for the -compare pair (1 = sequential)")
 	workers := flag.Int("workers", 1, "event-loop goroutines inside each simulation (1 = serial reference engine)")
+	epoch := flag.Duration("epoch", 0, "barrier period of the parallel engine (0 = default 50us; needs -workers > 1)")
 	shardWorker := flag.Bool("shard-worker", false, "serve one sweep-shard session on stdin/stdout and exit")
 	shardListen := flag.String("shard-listen", "", "serve sweep-shard sessions on this TCP address until interrupted")
 	flag.Parse()
 
 	if err := validateConcurrency(*parallel, *workers); err != nil {
+		fatal(err)
+	}
+	if err := validateEpoch(*epoch, *workers); err != nil {
 		fatal(err)
 	}
 	tech, err := parseTech(*techFlag)
@@ -94,7 +100,7 @@ func main() {
 	s := dmamem.Simulation{
 		CPLimit: *cpLimit, PLGroups: *groups, MemoryTech: tech,
 		Channels: *channels, ChannelStripePages: *stripePages, ChannelBandwidth: *channelBW,
-		Workers: engineWorkers(*workers),
+		Workers: engineWorkers(*workers), BarrierEpoch: *epoch,
 	}
 	var tr *dmamem.Trace
 	if *traceFile != "" && isDMT(*traceFile) {
@@ -214,6 +220,19 @@ func validateConcurrency(parallel, workers int) error {
 	}
 	if workers <= 0 {
 		return fmt.Errorf("-workers %d must be at least 1 (1 selects the serial reference engine)", workers)
+	}
+	return nil
+}
+
+// validateEpoch rejects a negative -epoch and an -epoch without the
+// parallel engine: the barrier period only exists when -workers
+// selects it, so silently ignoring the flag would misreport what ran.
+func validateEpoch(epoch time.Duration, workers int) error {
+	if epoch < 0 {
+		return fmt.Errorf("-epoch %v must be nonnegative (0 selects the default 50us)", epoch)
+	}
+	if epoch > 0 && workers <= 1 {
+		return fmt.Errorf("-epoch %v needs the parallel engine (-workers > 1); the serial engine has no barrier period", epoch)
 	}
 	return nil
 }

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestValidateConcurrency pins the rejection of non-positive
@@ -32,6 +33,37 @@ func TestValidateConcurrency(t *testing.T) {
 		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
 			t.Errorf("validateConcurrency(%d, %d) = %v, want error containing %q",
 				tc.parallel, tc.workers, err, tc.wantErr)
+		}
+	}
+}
+
+// TestValidateEpoch pins the -epoch flag's guard rails: negative
+// periods are rejected outright, and a positive period without the
+// parallel engine is rejected instead of silently ignored.
+func TestValidateEpoch(t *testing.T) {
+	cases := []struct {
+		epoch   time.Duration
+		workers int
+		wantErr string
+	}{
+		{0, 1, ""},
+		{0, 4, ""},
+		{50 * time.Microsecond, 2, ""},
+		{time.Millisecond, 8, ""},
+		{-time.Microsecond, 4, "must be nonnegative"},
+		{50 * time.Microsecond, 1, "needs the parallel engine"},
+	}
+	for _, tc := range cases {
+		err := validateEpoch(tc.epoch, tc.workers)
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("validateEpoch(%v, %d) = %v, want nil", tc.epoch, tc.workers, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("validateEpoch(%v, %d) = %v, want error containing %q",
+				tc.epoch, tc.workers, err, tc.wantErr)
 		}
 	}
 }

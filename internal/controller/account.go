@@ -241,6 +241,7 @@ func (c *Controller) recompute(now sim.Time) {
 		}
 	}
 	c.complEvt = c.eng.SchedulePrio(next, prioCompletion, c.onCompletionFn)
+	c.complAt = next
 }
 
 // onCompletion fires when the earliest flow drains.

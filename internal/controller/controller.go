@@ -242,6 +242,11 @@ type Controller struct {
 
 	allFlows []*flow
 	complEvt sim.EventID
+	// complAt is the instant complEvt is scheduled for; meaningful only
+	// while len(allFlows) > 0 (recompute leaves it stale otherwise).
+	// CrossLookahead reads it instead of the event, whose ID carries no
+	// time.
+	complAt sim.Time
 
 	// Dirty-set accounting state (see account.go). dirtyChips is kept
 	// sorted by chip ID; lastAccount is the instant of the last global
@@ -275,6 +280,10 @@ type Controller struct {
 	slack      float64 // ps
 	nGated     int
 	epochEvt   sim.EventID
+	// epochAt is the instant epochEvt is scheduled for; meaningful only
+	// while nGated > 0 (the epoch timer is never cancelled, so validity
+	// comes from the gated count, not the event ID).
+	epochAt sim.Time
 
 	// Derived constants.
 	lineTime sim.Duration // processor cache-line service time

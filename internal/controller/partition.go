@@ -1,6 +1,10 @@
 package controller
 
-import "fmt"
+import (
+	"fmt"
+
+	"dmamem/internal/sim"
+)
 
 // Barrier-side API of a channel-partitioned controller. The parallel
 // core runs one controller per channel, each on its own engine; within
@@ -38,4 +42,42 @@ func (c *Controller) Resync(caps []float64) {
 	c.accountAll(now)
 	c.alloc.SetBusCaps(caps)
 	c.recompute(now)
+}
+
+// CrossLookahead reports a conservative lower bound on the next
+// instant at which this partition's bus flow counts can change from
+// internal causes — the signal the adaptive barrier uses to elide
+// provably idle epoch boundaries. Internal count-change sources are
+// exactly: a flow completion (at, bounded by the next scheduled
+// completion), the TA epoch timer releasing gated transfers (only
+// meaningful while transfers are gated), and a pending wake on a chip
+// holding waiting or gated transfers (whose completion instant the
+// controller does not track; ok=false asks the barrier not to elide).
+// External causes — trace arrivals — are the caller's to bound:
+// arrivalSensitive=true means processor arrivals can change counts too
+// (an access can wake a chip holding gated transfers, draining them),
+// so the caller must bound by every arrival, not just DMA ones.
+// Policy timers, sleep transitions, processor service on active chips
+// and proc-only wakes never alter flow membership on a bus and are
+// deliberately excluded. Call only at a barrier (single-threaded).
+func (c *Controller) CrossLookahead() (at sim.Time, arrivalSensitive, ok bool) {
+	for _, cs := range c.chips {
+		if cs == nil {
+			continue
+		}
+		if cs.wakePending && (len(cs.waiting) > 0 || len(cs.gated) > 0) {
+			return 0, false, false
+		}
+	}
+	at = sim.MaxTime
+	if len(c.allFlows) > 0 {
+		at = c.complAt
+	}
+	if c.nGated > 0 {
+		if c.epochAt < at {
+			at = c.epochAt
+		}
+		arrivalSensitive = true
+	}
+	return at, arrivalSensitive, true
 }

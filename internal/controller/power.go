@@ -18,9 +18,20 @@ func (c *Controller) scheduleWake(cs *chipState, now sim.Time) {
 	}
 	cs.wakePending = true
 	c.cancelPolicyTimer(cs)
-	if obs, ok := c.cfg.Policy.(policy.GapObserver); ok && cs.idleSince > 0 {
-		obs.ObserveGap(now.Sub(cs.idleSince))
-		cs.idleSince = 0
+	if cs.idleSince > 0 {
+		// Timed observers (the parallel core's per-partition recorders)
+		// also receive the instant the gap closed, so observations from
+		// different partitions can be merged in global time order at the
+		// next barrier; plain observers get the serial-path call exactly
+		// as before.
+		switch obs := c.cfg.Policy.(type) {
+		case policy.TimedGapObserver:
+			obs.ObserveGapAt(now, now.Sub(cs.idleSince))
+			cs.idleSince = 0
+		case policy.GapObserver:
+			obs.ObserveGap(now.Sub(cs.idleSince))
+			cs.idleSince = 0
+		}
 	}
 	switch cs.chip.Phase() {
 	case memsys.PhaseResident:

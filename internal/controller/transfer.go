@@ -262,7 +262,8 @@ func (c *Controller) ensureEpoch(now sim.Time) {
 	if c.epochEvt.Valid() || c.nGated == 0 {
 		return
 	}
-	c.epochEvt = c.eng.SchedulePrio(now.Add(c.cfg.TA.EpochLength), prioEpoch, c.onEpochFn)
+	c.epochAt = now.Add(c.cfg.TA.EpochLength)
+	c.epochEvt = c.eng.SchedulePrio(c.epochAt, prioEpoch, c.onEpochFn)
 }
 
 // onEpoch charges the pessimistic epoch cost (epochLength * pending)
@@ -279,7 +280,8 @@ func (c *Controller) onEpoch(e *sim.Engine) {
 		}
 	}
 	if c.nGated > 0 {
-		c.epochEvt = c.eng.SchedulePrio(now.Add(c.cfg.TA.EpochLength), prioEpoch, c.onEpochFn)
+		c.epochAt = now.Add(c.cfg.TA.EpochLength)
+		c.epochEvt = c.eng.SchedulePrio(c.epochAt, prioEpoch, c.onEpochFn)
 	}
 	c.recompute(now)
 }

@@ -5,23 +5,45 @@
 // Each channel gets its own sim.Engine and its own channel-partitioned
 // controller; within an epoch a shard touches only its own chips,
 // flows, timers and slack pool, so shards share no state and the
-// worker count cannot affect results. The one genuinely shared
-// resource — I/O-bus bandwidth — is split across partitions at every
-// epoch barrier with a demand-weighted max-min share (bus.EpochShares
-// + Controller.Resync), single-threaded.
+// worker count cannot affect results. Cross-channel state is exchanged
+// single-threaded between epochs: the shared I/O-bus bandwidth is
+// re-split with a demand-weighted max-min share (bus.EpochShares +
+// Controller.Resync) in the Barrier stage, while the Observe stage
+// folds per-partition observations into a coherent global view at the
+// same instant — idle-gap samples are replayed to the master adaptive
+// policy in global time order, and the shared page layout rebalances
+// over the union of every partition's busy set. That observation stage
+// is what lets PL and gap-observing policies run on multi-channel
+// parallel topologies.
+//
+// Barriers are adaptive by default: at each rendezvous the core
+// computes a conservative lower bound on the next instant any
+// partition's bus demand can change (controller lookahead + the trace
+// cursors' next relevant arrival) and lets the shards run through
+// every provably idle epoch boundary in one span, capped by a
+// controller that widens while re-split churn is low or barrier stall
+// is high and narrows when shares are actually moving. Only provably
+// no-op boundaries are ever skipped, so results are bit-identical to
+// the fixed-epoch reference (Config.FixedEpoch) at any span cap and
+// any worker count; see docs/ARCHITECTURE.md for the argument.
 //
 // With a single channel the barrier engine degenerates to the serial
-// engine executed in epoch-sized chunks, and reports are bit-identical
-// to the serial reference (the golden corpus cross-check in
-// internal/experiments holds both paths to it). With multiple channels
-// the epoch-barrier bus coupling IS the semantics: the serial engine
-// reallocates globally at event granularity, which no conservative
-// parallel schedule can reproduce, so multi-channel parallel runs are
-// their own scheme — deterministic, worker-count-invariant, and
-// cross-checked 2-and-4-workers-vs-1 instead. Channel-spanning DMA
-// records are split into channel-homogeneous sub-transfers that
-// proceed concurrently (the serial engine walks them sequentially);
-// Transfers and service-time stats count the sub-transfers.
+// engine — executed as one open-ended span under the adaptive barrier,
+// or in epoch-sized chunks under FixedEpoch — and reports are
+// bit-identical to the serial reference (the golden corpus cross-check
+// in internal/experiments holds both paths to it). With multiple
+// channels the epoch-barrier bus coupling IS the semantics: the serial
+// engine reallocates globally at event granularity, which no
+// conservative parallel schedule can reproduce, so multi-channel
+// parallel runs are their own scheme — deterministic,
+// worker-count-invariant, and cross-checked 2-and-4-workers-vs-1
+// instead. Channel-spanning DMA records are split into
+// channel-homogeneous sub-transfers that proceed concurrently (the
+// serial engine walks them sequentially); Transfers and service-time
+// stats count the sub-transfers. Gap-observing policies see their
+// observations merged at barrier granularity and serve thresholds from
+// per-partition replicas that may lag the master by one span — also
+// part of the multi-channel scheme, and also worker-count invariant.
 package core
 
 import (
@@ -31,6 +53,7 @@ import (
 	"dmamem/internal/bus"
 	"dmamem/internal/controller"
 	"dmamem/internal/dma"
+	"dmamem/internal/energy"
 	"dmamem/internal/layout"
 	"dmamem/internal/memsys"
 	"dmamem/internal/policy"
@@ -43,8 +66,109 @@ import (
 // transfer service times at PCI-X rates.
 const defaultBarrierEpoch = 50 * sim.Microsecond
 
+// defaultMaxEpochSpan is the adaptive barrier's span ceiling (see
+// Config.MaxEpochSpan): at the default epoch it lets shards run up to
+// 12.8 ms between rendezvous, while bounding how many trace records
+// the staging buffers may hold.
+const defaultMaxEpochSpan = 256
+
+// spanController adapts the elision span cap between 1 epoch and the
+// ceiling from two signals: the re-split churn (how often the
+// demand-weighted bus shares actually changed at recent rendezvous)
+// and the barrier-stall fraction the engine measures around its
+// rendezvous wait. High churn means shares are moving and spans should
+// hug the epoch grid; low churn or high stall means barriers are pure
+// overhead and spans should widen. The cap only selects among epoch
+// boundaries already proven no-ops by the cross lookahead, so any cap
+// sequence — including one driven by wall-clock noise — yields
+// bit-identical results; the controller tunes wall-clock time only.
+type spanController struct {
+	cap     int
+	ceiling int
+	churn   float64 // EWMA of "shares changed at this rendezvous"
+}
+
+func newSpanController(ceiling int) *spanController {
+	start := 8
+	if start > ceiling {
+		start = ceiling
+	}
+	return &spanController{cap: start, ceiling: ceiling}
+}
+
+// noteResplit feeds one rendezvous outcome into the churn estimate.
+// Churn is a per-simulated-epoch rate, not a per-rendezvous rate:
+// rendezvous only happen where something was pending, so sampling them
+// alone would overcount — a workload with one genuine re-split every
+// 40 quiet epochs would look like 100% churn and wrongly pin the span
+// cap at 1. The epochs covered since the previous rendezvous therefore
+// enter the EWMA as unchanged samples ahead of this rendezvous's
+// outcome (they rendezvoused nothing, so no shares moved there).
+func (s *spanController) noteResplit(changed bool, epochs int64) {
+	for ; epochs > 1; epochs-- {
+		s.churn *= 0.9
+		if s.churn < 1e-6 {
+			s.churn = 0
+			break
+		}
+	}
+	v := 0.0
+	if changed {
+		v = 1
+	}
+	s.churn = 0.9*s.churn + 0.1*v
+}
+
+// spanCap implements sim.BarrierHooks.SpanCap.
+func (s *spanController) spanCap(stall float64) int {
+	switch {
+	case s.churn > 0.5 && s.cap > 1:
+		s.cap /= 2
+	case s.cap < s.ceiling && (s.churn < 0.1 || stall > 0.25):
+		s.cap *= 2
+		if s.cap > s.ceiling {
+			s.cap = s.ceiling
+		}
+	}
+	return s.cap
+}
+
+// timedGap is one buffered idle-gap observation.
+type timedGap struct {
+	at  sim.Time
+	gap sim.Duration
+}
+
+// gapRecorder is the per-partition stand-in for a gap-observing
+// policy: threshold queries are served by the partition's replica
+// (policy.Replicable) while completed idle gaps are buffered with
+// their instants. The barrier's Observe stage replays all partitions'
+// buffers to the master policy in global time order and re-syncs every
+// replica — the epoch-synchronized global observation that lets
+// adaptive policies run on multi-channel parallel topologies.
+type gapRecorder struct {
+	policy.Policy // the replica: serves NextStep/Name
+	buf           []timedGap
+	pos           int
+}
+
+// ObserveGapAt implements policy.TimedGapObserver; the controller
+// prefers it over plain ObserveGap.
+func (g *gapRecorder) ObserveGapAt(at sim.Time, gap sim.Duration) {
+	g.buf = append(g.buf, timedGap{at: at, gap: gap})
+}
+
+// ValidateForModel forwards the model check to the replica, so
+// wrapping does not hide policy.ModelValidator from controller.New.
+func (g *gapRecorder) ValidateForModel(m *energy.Model) error {
+	if v, ok := g.Policy.(policy.ModelValidator); ok {
+		return v.ValidateForModel(m)
+	}
+	return nil
+}
+
 // parallelRun is the assembled shard set plus the barrier-side bus
-// bookkeeping.
+// bookkeeping and the adaptive-barrier state.
 type parallelRun struct {
 	cfg      Config
 	channels int
@@ -58,11 +182,42 @@ type parallelRun struct {
 	shares   [][]float64
 	counts   [][]int
 	next     [][]float64
+
+	// span adapts the elision cap (channels > 1, adaptive mode);
+	// epochLen and lastEnd turn rendezvous spacing into the elapsed
+	// simulated epochs the churn rate is normalized by.
+	span     *spanController
+	epochLen sim.Duration
+	lastEnd  sim.Time
+
+	// Gap-observing policy replication (channels > 1 only).
+	gapObserving bool
+	gapMaster    policy.GapObserver
+	gapRepl      policy.Replicable
+	gapRecs      []*gapRecorder
+
+	// Shared-layout (PL) rebalance state (channels > 1 only): the
+	// serial engine runs rebalances as priority-5 ticks; here they are
+	// forced rendezvous instants executed in the Observe stage.
+	lm          *layout.Manager
+	rebInterval sim.Duration
+	nextReb     sim.Time
+	rebEnd      sim.Time
+	busyScratch []map[memsys.PageID]bool
+
+	// nextArrival probes the earliest undelivered trace arrival — DMA
+	// records only when dmaOnly, every kind otherwise. Installed per
+	// trace path (pre-split feeders, staging buffers, file cursor); it
+	// bounds the cross lookahead so no span outruns an arrival that
+	// could change bus demand.
+	nextArrival func(dmaOnly bool) (sim.Time, bool)
 }
 
-// channelOfPage resolves the channel serving a page under the static
-// mapping. Only used when channels > 1, where PL is rejected, so the
-// mapping cannot change mid-run and records can be split up front.
+// channelOfPage resolves the channel serving a page under the
+// controller's resolved mapping. The returned closure reads the
+// mapping at call time, so under PL it tracks migrations: stage-time
+// routing is correct because spans never cross a rebalance instant
+// (the CapEnd hook forces a rendezvous there).
 func channelOfPage(cfg Config, mapper memsys.Mapper) func(memsys.PageID) int {
 	geo := cfg.Geometry
 	topo := cfg.Topology
@@ -80,17 +235,31 @@ func newParallelRun(cfg Config, ccfg controller.Config) (*parallelRun, error) {
 	if cfg.BarrierEpoch < 0 {
 		return nil, fmt.Errorf("core: BarrierEpoch %v is negative", cfg.BarrierEpoch)
 	}
-	channels := cfg.Topology.NumChannels()
-	if channels > 1 {
-		if cfg.PL != nil {
-			return nil, fmt.Errorf("core: PL needs the serial engine on a %d-channel topology; its layout state is global, not per-channel", channels)
-		}
-		if _, ok := cfg.Policy.(policy.GapObserver); ok {
-			return nil, fmt.Errorf("core: policy %T observes idle gaps globally; multi-channel parallel runs need a channel-pure policy", cfg.Policy)
-		}
+	if cfg.MaxEpochSpan < 0 {
+		return nil, fmt.Errorf("core: MaxEpochSpan %d is negative", cfg.MaxEpochSpan)
 	}
+	channels := cfg.Topology.NumChannels()
 	p := &parallelRun{cfg: cfg, channels: channels}
+	ceiling := cfg.MaxEpochSpan
+	if ceiling == 0 {
+		ceiling = defaultMaxEpochSpan
+	}
+	p.span = newSpanController(ceiling)
+	p.epochLen = cfg.BarrierEpoch
+	if p.epochLen == 0 {
+		p.epochLen = defaultBarrierEpoch
+	}
 	if channels > 1 {
+		if obs, isGap := ccfg.Policy.(policy.GapObserver); isGap {
+			repl, isRepl := ccfg.Policy.(policy.Replicable)
+			if !isRepl {
+				return nil, fmt.Errorf("core: policy %T observes idle gaps globally but is not policy.Replicable; multi-channel parallel runs serve thresholds from per-channel replicas and merge gap observations at epoch barriers", ccfg.Policy)
+			}
+			p.gapObserving = true
+			p.gapMaster = obs
+			p.gapRepl = repl
+			p.gapRecs = make([]*gapRecorder, channels)
+		}
 		p.fullCaps = make([]float64, cfg.Buses.Count)
 		for i := range p.fullCaps {
 			p.fullCaps[i] = cfg.Buses.Bandwidth
@@ -117,6 +286,11 @@ func newParallelRun(cfg Config, ccfg controller.Config) (*parallelRun, error) {
 			caps := make([]float64, cfg.Buses.Count)
 			copy(caps, p.shares[ch])
 			pcfg.Partition = &controller.Partition{Channel: ch, BusCaps: caps}
+			if p.gapObserving {
+				rec := &gapRecorder{Policy: p.gapRepl.Replicate()}
+				pcfg.Policy = rec
+				p.gapRecs[ch] = rec
+			}
 		}
 		ctl, err := controller.New(eng, pcfg)
 		if err != nil {
@@ -129,14 +303,17 @@ func newParallelRun(cfg Config, ccfg controller.Config) (*parallelRun, error) {
 }
 
 // barrier re-splits the shared buses by the demand each partition
-// reported for the epoch that just ended. Runs single-threaded between
+// reported for the span that just ended. Runs single-threaded between
 // epochs; Resync is skipped while a partition's shares are unchanged,
 // so an all-idle simulation inserts no accounting boundaries at all.
-func (p *parallelRun) barrier(sim.Time) error {
+// The changed-or-not outcome also feeds the span controller's churn
+// estimate.
+func (p *parallelRun) barrier(end sim.Time) error {
 	for ch, ctl := range p.ctls {
 		ctl.BusFlowCounts(p.counts[ch])
 	}
 	bus.EpochShares(p.fullCaps, p.counts, p.next)
+	anyChanged := false
 	for ch, ctl := range p.ctls {
 		changed := false
 		for b, s := range p.next[ch] {
@@ -146,11 +323,140 @@ func (p *parallelRun) barrier(sim.Time) error {
 			}
 		}
 		if changed {
+			anyChanged = true
 			copy(p.shares[ch], p.next[ch])
 			ctl.Resync(p.shares[ch])
 		}
 	}
+	epochs := int64(1)
+	if p.lastEnd > 0 && end > p.lastEnd {
+		if n := int64(end.Sub(p.lastEnd) / p.epochLen); n > 1 {
+			epochs = n
+		}
+	}
+	p.lastEnd = end
+	p.span.noteResplit(anyChanged, epochs)
 	return nil
+}
+
+// crossAt implements sim.BarrierHooks.CrossAt: the earliest instant
+// any partition's bus demand can change, from controller-internal
+// causes (completions, TA epoch timers, in-flight wakes) and from
+// trace arrivals. Gap-observing runs disable elision entirely — their
+// replica merges must stay on the fixed rendezvous schedule for the
+// adaptive and fixed modes to remain bit-identical.
+func (p *parallelRun) crossAt() (sim.Time, bool) {
+	if p.gapObserving {
+		return 0, false
+	}
+	at := sim.MaxTime
+	arrival := false
+	for _, ctl := range p.ctls {
+		t, a, ok := ctl.CrossLookahead()
+		if !ok {
+			return 0, false
+		}
+		if t < at {
+			at = t
+		}
+		arrival = arrival || a
+	}
+	if p.nextArrival != nil {
+		// With no partition gated, only DMA arrivals can create flows;
+		// with any transfer gated, a processor access can wake a chip
+		// and drain its gated transfers, so every arrival counts.
+		if t, ok := p.nextArrival(!arrival); ok && t < at {
+			at = t
+		}
+	}
+	return at, true
+}
+
+// capEnd implements sim.BarrierHooks.CapEnd: spans must not cross a
+// layout-rebalance instant, where the page→channel mapping may change.
+func (p *parallelRun) capEnd(end sim.Time) sim.Time {
+	if p.nextReb <= p.rebEnd && p.nextReb < end {
+		return p.nextReb
+	}
+	return end
+}
+
+// observe implements sim.BarrierHooks.Observe: the epoch-synchronized
+// global observation stage. It merges the partitions' buffered idle
+// gaps into the master policy in global time order (ties broken by
+// channel index) and re-syncs the replicas, then runs any layout
+// rebalance due at this rendezvous over the union of every partition's
+// busy pages — the parallel equivalent of the serial engine's
+// priority-5 rebalance tick, which likewise runs after all same-
+// instant events.
+func (p *parallelRun) observe(end sim.Time) error {
+	if p.gapObserving {
+		p.mergeGaps()
+	}
+	if p.lm != nil {
+		for p.nextReb <= p.rebEnd && p.nextReb <= end {
+			p.runRebalance()
+			p.nextReb = p.nextReb.Add(p.rebInterval)
+		}
+	}
+	return nil
+}
+
+// mergeGaps replays all partitions' buffered gap observations to the
+// master policy ordered by (instant, channel), then copies the
+// master's adapted state back into every replica.
+func (p *parallelRun) mergeGaps() {
+	for {
+		best := -1
+		for ch, g := range p.gapRecs {
+			if g.pos >= len(g.buf) {
+				continue
+			}
+			if best < 0 || g.buf[g.pos].at < p.gapRecs[best].buf[p.gapRecs[best].pos].at {
+				best = ch
+			}
+		}
+		if best < 0 {
+			break
+		}
+		g := p.gapRecs[best]
+		p.gapMaster.ObserveGap(g.buf[g.pos].gap)
+		g.pos++
+	}
+	for _, g := range p.gapRecs {
+		g.buf = g.buf[:0]
+		g.pos = 0
+		p.gapRepl.SyncReplica(g.Policy)
+	}
+}
+
+// armRebalances switches the PL interval timer to barrier-driven
+// execution: rebalance instants become forced rendezvous (capEnd) run
+// in the Observe stage, mirroring scheduleRebalances' schedule — first
+// at one interval, last at or before the trace end.
+func (p *parallelRun) armRebalances(lm *layout.Manager, traceEnd sim.Time) {
+	p.lm = lm
+	p.rebInterval = lm.Interval()
+	p.nextReb = sim.Time(p.rebInterval)
+	p.rebEnd = traceEnd
+}
+
+// runRebalance executes one layout rebalance with the global busy set:
+// a page in flight on any partition must not migrate.
+func (p *parallelRun) runRebalance() {
+	busy := p.busyScratch[:0]
+	for _, ctl := range p.ctls {
+		busy = append(busy, ctl.ActivePages())
+	}
+	p.busyScratch = busy
+	p.lm.Rebalance(func(pg memsys.PageID) bool {
+		for _, b := range busy {
+			if b[pg] {
+				return true
+			}
+		}
+		return false
+	})
 }
 
 // execute drives the shards until every event loop and input source
@@ -166,6 +472,40 @@ func (p *parallelRun) execute(ctx context.Context, hooks sim.BarrierHooks) error
 	}
 	if p.channels > 1 {
 		hooks.Barrier = p.barrier
+		if p.gapObserving || p.lm != nil {
+			hooks.Observe = p.observe
+		}
+		if p.lm != nil {
+			hooks.CapEnd = p.capEnd
+			// Pending rebalances count as input: the run must not end
+			// while interval ticks the serial engine would still fire
+			// remain (they migrate pages and charge energy even after
+			// the trace drains).
+			inner := hooks.NextInput
+			hooks.NextInput = func() (sim.Time, bool) {
+				var at sim.Time
+				ok := false
+				if inner != nil {
+					at, ok = inner()
+				}
+				if p.nextReb <= p.rebEnd && (!ok || p.nextReb < at) {
+					return p.nextReb, true
+				}
+				return at, ok
+			}
+		}
+	}
+	if !p.cfg.FixedEpoch {
+		if p.channels == 1 {
+			// A lone shard has no cross-shard state at all: every epoch
+			// boundary is a no-op, so the whole run is one span. This is
+			// what makes Workers on a single-channel topology near-free
+			// (see Config.Workers).
+			hooks.CrossAt = func() (sim.Time, bool) { return sim.MaxTime, true }
+		} else {
+			hooks.CrossAt = p.crossAt
+			hooks.SpanCap = p.span.spanCap
+		}
 	}
 	return be.Run(ctx, hooks)
 }
@@ -221,25 +561,117 @@ func finishParallel(ctx context.Context, cfg Config, tr *trace.Trace, ccfg contr
 	if err != nil {
 		return nil, err
 	}
-	if p.channels == 1 {
+	hooks := sim.BarrierHooks{}
+	switch {
+	case p.channels == 1:
 		p.engs[0].SetFeeder(&traceFeeder{ctl: p.ctls[0], records: tr.Records})
-	} else {
+	case lm == nil:
+		// Static mapping: split the whole trace up front into
+		// per-channel feeders.
 		split := make([][]trace.Record, p.channels)
 		chanOf := channelOfPage(cfg, p.ctls[0].Mapper())
 		for _, r := range tr.Records {
 			appendSplit(split, r, chanOf)
 		}
+		feeders := make([]*traceFeeder, p.channels)
 		for ch, eng := range p.engs {
-			eng.SetFeeder(&traceFeeder{ctl: p.ctls[ch], records: split[ch]})
+			feeders[ch] = &traceFeeder{ctl: p.ctls[ch], records: split[ch]}
+			eng.SetFeeder(feeders[ch])
+		}
+		p.nextArrival = func(dmaOnly bool) (sim.Time, bool) {
+			best, any := sim.MaxTime, false
+			for _, f := range feeders {
+				if t, ok := f.nextRelevant(dmaOnly); ok {
+					any = true
+					if t < best {
+						best = t
+					}
+				}
+			}
+			return best, any
+		}
+	default:
+		// PL on multiple channels: the page→channel mapping changes at
+		// rebalance rendezvous, so records cannot be split up front.
+		// The Prepare hook stages each span's records into per-channel
+		// buffers with the mapping current at stage time, which equals
+		// the mapping at fire time because no span crosses a rebalance
+		// instant (capEnd).
+		feeders := make([]*bufFeeder, p.channels)
+		for ch := range feeders {
+			feeders[ch] = &bufFeeder{ctl: p.ctls[ch]}
+			p.engs[ch].SetFeeder(feeders[ch])
+		}
+		chanOf := channelOfPage(cfg, p.ctls[0].Mapper())
+		split := make([][]trace.Record, p.channels)
+		idx := 0
+		dmaIdx := 0
+		hooks.NextInput = func() (sim.Time, bool) {
+			if idx >= len(tr.Records) {
+				return 0, false
+			}
+			return tr.Records[idx].Time, true
+		}
+		hooks.Prepare = func(end sim.Time) error {
+			for idx < len(tr.Records) && tr.Records[idx].Time <= end {
+				for ch := range split {
+					split[ch] = split[ch][:0]
+				}
+				appendSplit(split, tr.Records[idx], chanOf)
+				for ch, subs := range split {
+					feeders[ch].buf = append(feeders[ch].buf, subs...)
+				}
+				idx++
+			}
+			return nil
+		}
+		p.nextArrival = func(dmaOnly bool) (sim.Time, bool) {
+			best, any := sim.MaxTime, false
+			for _, f := range feeders {
+				if t, ok := f.nextRelevant(dmaOnly); ok {
+					any = true
+					if t < best {
+						best = t
+					}
+				}
+			}
+			// Unstaged records: a monotone DMA-scan cursor over the
+			// global slice from the staging position.
+			if dmaIdx < idx {
+				dmaIdx = idx
+			}
+			if !dmaOnly {
+				if idx < len(tr.Records) {
+					any = true
+					if t := tr.Records[idx].Time; t < best {
+						best = t
+					}
+				}
+			} else {
+				for dmaIdx < len(tr.Records) && !tr.Records[dmaIdx].Kind.IsDMA() {
+					dmaIdx++
+				}
+				if dmaIdx < len(tr.Records) {
+					any = true
+					if t := tr.Records[dmaIdx].Time; t < best {
+						best = t
+					}
+				}
+			}
+			return best, any
 		}
 	}
+	traceEnd := sim.Time(tr.Duration())
 	if lm != nil {
-		// PL implies a single channel (newParallelRun rejected the rest);
-		// the rebalance ticks live on the sole shard exactly as on the
-		// serial engine.
-		scheduleRebalances(p.engs[0], p.ctls[0], lm, sim.Time(tr.Duration()))
+		if p.channels == 1 {
+			// A sole shard runs the rebalance ticks exactly as the
+			// serial engine does.
+			scheduleRebalances(p.engs[0], p.ctls[0], lm, traceEnd)
+		} else {
+			p.armRebalances(lm, traceEnd)
+		}
 	}
-	if err := p.execute(ctx, sim.BarrierHooks{}); err != nil {
+	if err := p.execute(ctx, hooks); err != nil {
 		return nil, err
 	}
 	window := cfg.MeterWindow
@@ -256,14 +688,15 @@ func finishParallel(ctx context.Context, cfg Config, tr *trace.Trace, ccfg contr
 }
 
 // bufFeeder is traceFeeder over a buffer the barrier's Prepare hook
-// refills: the coordinator stages each epoch's records into the owning
-// shard before the shards run, so mid-epoch the shard pulls arrivals
+// refills: the coordinator stages each span's records into the owning
+// shard before the shards run, so mid-span the shard pulls arrivals
 // from local memory only. The buffer is compacted whenever it drains,
-// keeping it at one epoch's worth of records.
+// keeping it at one span's worth of records.
 type bufFeeder struct {
 	ctl    *controller.Controller
 	buf    []trace.Record
 	pos    int
+	dmaPos int
 	nextID int64
 }
 
@@ -289,14 +722,38 @@ func (f *bufFeeder) Fire(e *sim.Engine) {
 	if f.pos == len(f.buf) {
 		f.buf = f.buf[:0]
 		f.pos = 0
+		f.dmaPos = 0
 	}
+}
+
+// nextRelevant reports the earliest staged-but-undelivered record —
+// every kind, or DMA records only — for the adaptive barrier's cross
+// lookahead. The DMA scan cursor is monotone between compactions, so
+// repeated probes cost amortized O(1).
+func (f *bufFeeder) nextRelevant(dmaOnly bool) (sim.Time, bool) {
+	if f.pos >= len(f.buf) {
+		return 0, false
+	}
+	if !dmaOnly {
+		return f.buf[f.pos].Time, true
+	}
+	if f.dmaPos < f.pos {
+		f.dmaPos = f.pos
+	}
+	for f.dmaPos < len(f.buf) && !f.buf[f.dmaPos].Kind.IsDMA() {
+		f.dmaPos++
+	}
+	if f.dmaPos >= len(f.buf) {
+		return 0, false
+	}
+	return f.buf[f.dmaPos].Time, true
 }
 
 // finishParallelFile completes runFileContext on the barrier engine.
 // The container is already validated and warmed. A single channel
 // streams through the ordinary cursor feeder (bit-identical to the
 // serial file path); multiple channels pull the cursor from the
-// barrier loop's Prepare hook, which stages each epoch's records into
+// barrier loop's Prepare hook, which stages each span's records into
 // per-shard buffers — the cursor stays single-threaded throughout.
 func finishParallelFile(ctx context.Context, cfg Config, fr *trace.FileReader, sum trace.FileSummary, ccfg controller.Config, lm *layout.Manager, res *Result) (*Result, error) {
 	p, err := newParallelRun(cfg, ccfg)
@@ -339,9 +796,35 @@ func finishParallelFile(ctx context.Context, cfg Config, fr *trace.FileReader, s
 				}
 			}
 		}
+		p.nextArrival = func(dmaOnly bool) (sim.Time, bool) {
+			best, any := sim.MaxTime, false
+			for _, f := range feeders {
+				if t, ok := f.nextRelevant(dmaOnly); ok {
+					any = true
+					if t < best {
+						best = t
+					}
+				}
+			}
+			// The cursor's head bounds every unstaged record. It is
+			// kind-blind (peeking ahead would force decoding), so it is
+			// simply conservative for the dmaOnly case.
+			if r, ok := cur.Peek(); ok {
+				any = true
+				if r.Time < best {
+					best = r.Time
+				}
+			}
+			return best, any
+		}
 	}
+	traceEnd := sim.Time(sum.Duration)
 	if lm != nil {
-		scheduleRebalances(p.engs[0], p.ctls[0], lm, sim.Time(sum.Duration))
+		if p.channels == 1 {
+			scheduleRebalances(p.engs[0], p.ctls[0], lm, traceEnd)
+		} else {
+			p.armRebalances(lm, traceEnd)
+		}
 	}
 	if err := p.execute(ctx, hooks); err != nil {
 		return nil, err

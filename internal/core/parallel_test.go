@@ -97,9 +97,6 @@ func TestParallelMultiChannelWorkerInvariance(t *testing.T) {
 	tr := stTrace(t, 5*sim.Millisecond)
 	path := saveDMT(t, tr, 512)
 	for name, cfg := range parallelSchemes() {
-		if cfg.PL != nil {
-			continue // PL is serial-only on multi-channel topologies
-		}
 		cfg.Topology = topo
 		cfg.Workers = 1
 		ref, err := Run(cfg, tr)
@@ -143,25 +140,112 @@ func TestParallelRejections(t *testing.T) {
 		!strings.Contains(err.Error(), "PerEventFeeder") {
 		t.Errorf("PerEventFeeder with Workers: %v", err)
 	}
-	if _, err := Run(Config{Workers: 2, Topology: topo, PL: plCfg(2)}, tr); err == nil ||
-		!strings.Contains(err.Error(), "PL") {
-		t.Errorf("PL on multi-channel parallel: %v", err)
-	}
-	if _, err := Run(Config{Workers: 2, Topology: topo, Policy: policy.NewSelfTuning()}, tr); err == nil ||
-		!strings.Contains(err.Error(), "policy") {
-		t.Errorf("gap-observing policy on multi-channel parallel: %v", err)
+	// A gap-observing policy that cannot replicate itself still gets a
+	// loud rejection on multi-channel topologies.
+	if _, err := Run(Config{Workers: 2, Topology: topo, Policy: &gapOnlyPolicy{}}, tr); err == nil ||
+		!strings.Contains(err.Error(), "Replicable") {
+		t.Errorf("non-replicable gap observer on multi-channel parallel: %v", err)
 	}
 	if _, err := Run(Config{Workers: 2, BarrierEpoch: -sim.Microsecond}, tr); err == nil ||
 		!strings.Contains(err.Error(), "BarrierEpoch") {
 		t.Errorf("negative BarrierEpoch: %v", err)
 	}
-	// Single-channel parallel PL and SelfTuning stay legal: one shard
-	// is the serial semantics.
-	if _, err := Run(Config{Workers: 2, PL: plCfg(2), TA: controller.DefaultTA(0), CPLimit: 0.10}, tr); err != nil {
-		t.Errorf("single-channel parallel PL: %v", err)
+	if _, err := Run(Config{Workers: 2, MaxEpochSpan: -1}, tr); err == nil ||
+		!strings.Contains(err.Error(), "MaxEpochSpan") {
+		t.Errorf("negative MaxEpochSpan: %v", err)
 	}
-	if _, err := Run(Config{Workers: 2, Policy: policy.NewSelfTuning()}, tr); err != nil {
-		t.Errorf("single-channel parallel SelfTuning: %v", err)
+	// PL and SelfTuning are legal on any channel count since the
+	// epoch-synchronized observation stage: single-channel is the
+	// serial semantics, multi-channel runs rebalances and gap merges at
+	// barriers.
+	for _, cfg := range []Config{
+		{Workers: 2, PL: plCfg(2), TA: controller.DefaultTA(0), CPLimit: 0.10},
+		{Workers: 2, Policy: policy.NewSelfTuning()},
+		{Workers: 2, Topology: topo, PL: plCfg(2), TA: controller.DefaultTA(0), CPLimit: 0.10},
+		{Workers: 2, Topology: topo, Policy: policy.NewSelfTuning()},
+	} {
+		if _, err := Run(cfg, tr); err != nil {
+			t.Errorf("legal parallel config rejected: %+v: %v", cfg, err)
+		}
+	}
+}
+
+// gapOnlyPolicy observes gaps but cannot replicate — multi-channel
+// parallel runs must reject it loudly.
+type gapOnlyPolicy struct{ policy.AlwaysActive }
+
+func (*gapOnlyPolicy) ObserveGap(sim.Duration) {}
+
+// TestParallelSingleChannelWorkersAccepted pins the documented
+// Config.Workers behavior on a single-channel topology: accepted (not
+// an error), bit-identical to serial, and equally so with the adaptive
+// barrier (default) and the fixed-epoch reference — the adaptive
+// engine collapses the run into one span, so the configuration is
+// near-free rather than silently wasteful.
+func TestParallelSingleChannelWorkersAccepted(t *testing.T) {
+	tr := stTrace(t, 2*sim.Millisecond)
+	serial, err := Run(Config{}, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fixed := range []bool{false, true} {
+		got, err := Run(Config{Workers: 4, FixedEpoch: fixed}, tr)
+		if err != nil {
+			t.Fatalf("fixed=%v: %v", fixed, err)
+		}
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("fixed=%v: single-channel parallel differs from serial", fixed)
+		}
+	}
+}
+
+// TestParallelAdaptiveFixedBitIdentical is the core-level elision
+// acceptance gate: the adaptive barrier may only skip rendezvous it
+// can prove are no-ops, so the fixed-epoch reference must reproduce
+// its results exactly — all schemes, multi-channel, in-memory and
+// file-backed, several span ceilings.
+func TestParallelAdaptiveFixedBitIdentical(t *testing.T) {
+	topo := memsys.Topology{Channels: 4, ChannelBandwidth: 3.2e9}
+	tr := stTrace(t, 5*sim.Millisecond)
+	path := saveDMT(t, tr, 512)
+	for name, cfg := range parallelSchemes() {
+		cfg.Topology = topo
+		cfg.Workers = 2
+		fixed := cfg
+		fixed.FixedEpoch = true
+		want, err := Run(fixed, tr)
+		if err != nil {
+			t.Fatalf("%s fixed: %v", name, err)
+		}
+		for _, span := range []int{0, 2, 64} {
+			acfg := cfg
+			acfg.MaxEpochSpan = span
+			got, err := Run(acfg, tr)
+			if err != nil {
+				t.Fatalf("%s span=%d: %v", name, span, err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s span=%d: adaptive result differs from fixed-epoch", name, span)
+			}
+		}
+		ffix := fixed
+		ffix.TraceFile = path
+		wantFile, err := Run(ffix, nil)
+		if err != nil {
+			t.Fatalf("%s fixed file: %v", name, err)
+		}
+		if !reflect.DeepEqual(want, wantFile) {
+			t.Errorf("%s: fixed file result differs from fixed in-memory", name)
+		}
+		fadp := cfg
+		fadp.TraceFile = path
+		gotFile, err := Run(fadp, nil)
+		if err != nil {
+			t.Fatalf("%s adaptive file: %v", name, err)
+		}
+		if !reflect.DeepEqual(want, gotFile) {
+			t.Errorf("%s: adaptive file result differs from fixed-epoch", name)
+		}
 	}
 }
 

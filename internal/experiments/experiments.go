@@ -55,6 +55,14 @@ type Suite struct {
 	// are bit-identical either way; the parallel cross-check test holds
 	// every worker count to that.
 	Workers int
+	// BarrierEpoch and FixedEpoch propagate the parallel engine's
+	// barrier period and adaptive-elision kill switch (core.Config
+	// fields of the same names) to every simulation the suite runs.
+	// Both only matter when Workers selects the parallel engine, and
+	// neither changes results — the adaptive-vs-fixed cross-check test
+	// holds every combination to bit-identity.
+	BarrierEpoch sim.Duration
+	FixedEpoch   bool
 
 	mu        sync.Mutex
 	cache     map[string]*cacheEntry
@@ -160,6 +168,8 @@ func (s *Suite) run(ctx context.Context, cfg core.Config, tr *trace.Trace) (*cor
 	cfg.HeapScheduler = s.HeapScheduler
 	cfg.PerEventFeeder = s.PerEventFeeder
 	cfg.Workers = s.Workers
+	cfg.BarrierEpoch = s.BarrierEpoch
+	cfg.FixedEpoch = s.FixedEpoch
 	return core.RunContext(ctx, cfg, tr)
 }
 
@@ -170,6 +180,8 @@ func (s *Suite) runPair(ctx context.Context, base, tech core.Config, tr *trace.T
 	base.HeapScheduler, tech.HeapScheduler = s.HeapScheduler, s.HeapScheduler
 	base.PerEventFeeder, tech.PerEventFeeder = s.PerEventFeeder, s.PerEventFeeder
 	base.Workers, tech.Workers = s.Workers, s.Workers
+	base.BarrierEpoch, tech.BarrierEpoch = s.BarrierEpoch, s.BarrierEpoch
+	base.FixedEpoch, tech.FixedEpoch = s.FixedEpoch, s.FixedEpoch
 	b, t, savings, err := core.RunBaselinePairParallel(ctx, base, tech, tr, 1)
 	if err != nil {
 		return 0, 0, err

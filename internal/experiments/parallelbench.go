@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"dmamem/internal/core"
+	"dmamem/internal/memsys"
+	"dmamem/internal/sim"
+	"dmamem/internal/trace"
+)
+
+// SparseTrace builds the sparse-cross-channel workload the adaptive
+// barrier is designed for: dense shard-local activity with only rare
+// cross-channel bus interaction. Every `period` of simulated time, one
+// DMA burst issues `channels` transfers whose pages land on distinct
+// channels (page-granular interleaving maps page p to channel p mod
+// channels); between bursts a steady processor-access stream (one
+// access every period/100, rotating over the channels) keeps every
+// epoch busy on some shard. Processor accesses never touch the shared
+// I/O buses, so a fixed-epoch run pays a rendezvous at essentially
+// every BarrierEpoch for nothing, while the adaptive engine proves the
+// boundaries idle (the cross bound is the next DMA arrival) and elides
+// them, rendezvousing a few times per burst.
+func SparseTrace(duration, period sim.Duration, channels int) *trace.Trace {
+	if channels < 1 {
+		channels = 1
+	}
+	tr := &trace.Trace{Name: fmt.Sprintf("Sparse-%dch", channels)}
+	procEvery := period / 100
+	if procEvery <= 0 {
+		procEvery = sim.Microsecond
+	}
+	burst := 0
+	for at := sim.Time(period); at < sim.Time(duration); at = at.Add(period) {
+		for c := 0; c < channels; c++ {
+			kind := trace.DMARead
+			src := trace.SrcNetwork
+			if (burst+c)%2 == 1 {
+				kind = trace.DMAWrite
+				src = trace.SrcDisk
+			}
+			// page ≡ c (mod channels) pins the transfer to channel c;
+			// the burst-dependent term spreads bursts over distinct
+			// pages within that channel.
+			page := memsys.PageID(c + channels*(burst%512))
+			tr.Records = append(tr.Records, trace.Record{
+				Time:   at.Add(sim.Duration(c) * sim.Microsecond),
+				Kind:   kind,
+				Source: src,
+				Bus:    uint8((burst + c) % 3),
+				Pages:  16,
+				Page:   page,
+			})
+		}
+		burst++
+	}
+	i := 0
+	for at := sim.Time(procEvery); at < sim.Time(duration); at = at.Add(procEvery) {
+		kind := trace.ProcRead
+		if i%4 == 3 {
+			kind = trace.ProcWrite
+		}
+		// A distinct page region (high offset) keeps the proc stream
+		// off the DMA pages while still rotating across channels.
+		page := memsys.PageID(i%channels + channels*(1024+i%256))
+		tr.Records = append(tr.Records, trace.Record{
+			Time:   at,
+			Kind:   kind,
+			Source: trace.SrcProcessor,
+			Page:   page,
+		})
+		i++
+	}
+	sort.SliceStable(tr.Records, func(a, b int) bool {
+		return tr.Records[a].Time < tr.Records[b].Time
+	})
+	return tr
+}
+
+// ParallelBenchSpec parameterizes one ParallelBench sweep. Zero-valued
+// fields take the defaults used by the committed BENCH_parallel.json.
+type ParallelBenchSpec struct {
+	// Duration of the dense generated workload (default 25 ms).
+	Duration sim.Duration
+	// SparseDuration and SparsePeriod shape the sparse workload
+	// (defaults 2 s and 2 ms).
+	SparseDuration sim.Duration
+	SparsePeriod   sim.Duration
+	// Seed for the dense generator (default 1).
+	Seed uint64
+	// Channels and Workers grids (defaults {1, 2, 4} and {0, 1, 2, 4};
+	// workers 0 is the serial reference engine).
+	Channels []int
+	Workers  []int
+	// Epoch is the barrier period (default: the engine's 50 us).
+	Epoch sim.Duration
+	// Repeat runs each cell this many times and keeps the fastest wall
+	// clock (default 3).
+	Repeat int
+}
+
+// ParallelBenchPoint is one cell of the scaling grid.
+type ParallelBenchPoint struct {
+	Workload     string  `json:"workload"`
+	Channels     int     `json:"channels"`
+	Workers      int     `json:"workers"` // 0 = serial reference engine
+	Fixed        bool    `json:"fixed_epoch"`
+	Events       uint64  `json:"events"`
+	Seconds      float64 `json:"seconds"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Speedup is events/sec over the same workload x channels serial
+	// reference cell (1.0 for the reference itself).
+	Speedup float64 `json:"speedup_vs_serial"`
+}
+
+// ParallelBenchResult is the document BENCH_parallel.json records.
+type ParallelBenchResult struct {
+	CPUs    int                  `json:"cpus"`
+	EpochUs float64              `json:"epoch_us"`
+	Points  []ParallelBenchPoint `json:"points"`
+}
+
+// ParallelBench measures the epoch-barrier parallel engine's scaling
+// across channels x workers, adaptive and fixed, on a dense workload
+// (Synthetic-St: barrier cost amortized over heavy event traffic) and
+// a sparse one (SparseTrace: barrier cost dominant, the elision
+// showcase). Each cell runs the baseline scheme Repeat times and keeps
+// the fastest run. Serial cells (workers 0) anchor the per-workload,
+// per-channels speedup column.
+func ParallelBench(ctx context.Context, spec ParallelBenchSpec) (*ParallelBenchResult, error) {
+	if spec.Duration == 0 {
+		spec.Duration = 25 * sim.Millisecond
+	}
+	if spec.SparseDuration == 0 {
+		spec.SparseDuration = 2 * sim.Second
+	}
+	if spec.SparsePeriod == 0 {
+		spec.SparsePeriod = 2 * sim.Millisecond
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if len(spec.Channels) == 0 {
+		spec.Channels = []int{1, 2, 4}
+	}
+	if len(spec.Workers) == 0 {
+		spec.Workers = []int{0, 1, 2, 4}
+	}
+	if spec.Repeat <= 0 {
+		spec.Repeat = 3
+	}
+	s := NewSuite(spec.Duration, spec.Seed)
+	dense, err := s.workload("Synthetic-St")
+	if err != nil {
+		return nil, err
+	}
+	maxCh := 1
+	for _, c := range spec.Channels {
+		if c > maxCh {
+			maxCh = c
+		}
+	}
+	sparse := SparseTrace(spec.SparseDuration, spec.SparsePeriod, maxCh)
+	epoch := spec.Epoch
+	if epoch == 0 {
+		epoch = 50 * sim.Microsecond
+	}
+	res := &ParallelBenchResult{CPUs: runtime.NumCPU(), EpochUs: epoch.Seconds() * 1e6}
+
+	cell := func(tr *trace.Trace, channels, workers int, fixed bool) (ParallelBenchPoint, error) {
+		cfg := core.Config{
+			Workers:      workers,
+			BarrierEpoch: epoch,
+			FixedEpoch:   fixed,
+		}
+		if channels > 1 {
+			cfg.Topology = memsys.Topology{Channels: channels, ChannelBandwidth: 3.2e9}
+		}
+		p := ParallelBenchPoint{Workload: tr.Name, Channels: channels, Workers: workers, Fixed: fixed}
+		for i := 0; i < spec.Repeat; i++ {
+			start := time.Now()
+			r, err := core.RunContext(ctx, cfg, tr)
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				return p, err
+			}
+			if i == 0 || elapsed < p.Seconds {
+				p.Seconds = elapsed
+				p.Events = r.Report.Events
+			}
+		}
+		if p.Seconds > 0 {
+			p.EventsPerSec = float64(p.Events) / p.Seconds
+		}
+		return p, nil
+	}
+
+	for _, tr := range []*trace.Trace{dense, sparse} {
+		for _, channels := range spec.Channels {
+			serialRate := 0.0
+			for _, workers := range spec.Workers {
+				modes := []bool{false}
+				if workers > 0 {
+					modes = []bool{false, true} // adaptive, then fixed
+				}
+				for _, fixed := range modes {
+					p, err := cell(tr, channels, workers, fixed)
+					if err != nil {
+						return nil, fmt.Errorf("parallel bench %s ch=%d workers=%d fixed=%v: %w",
+							tr.Name, channels, workers, fixed, err)
+					}
+					if workers == 0 {
+						serialRate = p.EventsPerSec
+					}
+					if serialRate > 0 {
+						p.Speedup = p.EventsPerSec / serialRate
+					}
+					res.Points = append(res.Points, p)
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// JSON renders the result as the indented document BENCH_parallel.json
+// stores.
+func (r *ParallelBenchResult) JSON() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// FormatParallelBench renders the scaling grid as a text table for the
+// CLI and EXPERIMENTS.md.
+func FormatParallelBench(r *ParallelBenchResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Parallel engine scaling (%d CPUs, epoch %.0f us)\n", r.CPUs, r.EpochUs)
+	fmt.Fprintf(&b, "%-14s %8s %8s %9s %12s %9s\n",
+		"workload", "channels", "workers", "barrier", "events/sec", "speedup")
+	for _, p := range r.Points {
+		mode := "serial"
+		if p.Workers > 0 {
+			if p.Fixed {
+				mode = "fixed"
+			} else {
+				mode = "adaptive"
+			}
+		}
+		fmt.Fprintf(&b, "%-14s %8d %8d %9s %12.0f %8.2fx\n",
+			p.Workload, p.Channels, p.Workers, mode, p.EventsPerSec, p.Speedup)
+	}
+	return b.String()
+}

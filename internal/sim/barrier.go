@@ -3,40 +3,103 @@
 // repository — and drives them through bulk-synchronous epochs: within
 // an epoch every shard dispatches its own events on its own goroutine
 // with no shared state, and cross-shard interaction happens only in
-// the caller's barrier hook, which runs single-threaded between
+// the caller's barrier hooks, which run single-threaded between
 // epochs. Because the epoch grid is a pure function of simulated time
 // and the shards never observe each other mid-epoch, the dispatch
 // sequence of every shard is identical at any worker count — the
 // parallelism is conservative in the PDES sense, and determinism holds
 // by construction rather than by luck of scheduling.
+//
+// # Barrier elision
+//
+// A rendezvous is only useful when the barrier hooks could do
+// something: exchange state that actually changed. When the caller can
+// prove, from the global state visible at a rendezvous, a lower bound
+// on the next instant at which any cross-shard-visible state may
+// change (the CrossAt hook), every epoch boundary strictly before that
+// bound is a provable no-op and the shards can run straight through it
+// in one chunk. The epoch grid itself never moves: an elided span
+// always ends on the same [k*E, (k+1)*E) grid a fixed-epoch run uses
+// (or earlier, at a CapEnd observation instant), so the set of
+// boundaries where state is actually exchanged — and therefore every
+// shard's dispatch sequence — is identical whether or not any no-op
+// boundary was skipped, at any span cap, at any worker count. Elision
+// changes wall-clock time only; see docs/ARCHITECTURE.md for the full
+// determinism argument.
 package sim
 
 import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
-// maxTime is the open-ended run limit shared with Engine.Run.
-const maxTime = Time(1<<62 - 1)
+// MaxTime is the open-ended run limit shared with Engine.Run: the
+// largest instant the engines schedule or run to.
+const MaxTime = Time(1<<62 - 1)
+
+// maxTime is retained for the kernel internals.
+const maxTime = MaxTime
 
 // BarrierHooks are the caller's epoch-boundary callbacks. All fields
-// are optional.
+// are optional; the zero value runs the classic fixed-epoch protocol.
 type BarrierHooks struct {
 	// NextInput reports the instant of the earliest external input not
 	// yet delivered to any shard (a trace cursor's head, typically), so
 	// the epoch loop does not skip past epochs whose only activity is
 	// new input. ok=false once the source is exhausted.
 	NextInput func() (Time, bool)
-	// Prepare runs single-threaded before the shards execute the epoch
+	// Prepare runs single-threaded before the shards execute the span
 	// ending at end (inclusive). Use it to stage external inputs due
-	// within the epoch into per-shard structures.
+	// within the span into per-shard structures.
 	Prepare func(end Time) error
-	// Barrier runs single-threaded after every shard has reached end.
-	// This is the only place cross-shard state may be exchanged:
-	// bandwidth re-allocation, slack settlement, anything that reads or
-	// writes more than one shard.
+	// CrossAt reports a conservative lower bound on the next instant at
+	// which any cross-shard-visible state may change: a completion that
+	// alters bus demand, an arrival that creates a flow, a timer that
+	// can release gated work. Epoch boundaries strictly before the
+	// bound are provable no-ops and are elided: the shards run through
+	// them without a rendezvous, directly to the inclusive end of the
+	// epoch containing the bound. ok=false means no bound is available
+	// for this span (the run falls back to one epoch per rendezvous).
+	// The hook runs single-threaded at a rendezvous, so it may read any
+	// shard's state. Nil disables elision entirely.
+	CrossAt func() (Time, bool)
+	// SpanCap bounds how many consecutive epochs one elided span may
+	// cover, so staging buffers stay bounded; stall is the fraction of
+	// recent wall time the coordinator spent blocked waiting for shards
+	// (a dynamic-sizing input; 0 on the inline path). Returning a value
+	// <= 1 disables elision for the span. Nil leaves spans unbounded.
+	SpanCap func(stall float64) int
+	// CapEnd clamps a proposed span end to the next global observation
+	// instant (a layout-rebalance boundary, say). The returned value
+	// must not exceed end; values below the shards' clocks are allowed
+	// and produce an empty span that still rendezvouses at the instant.
+	CapEnd func(end Time) Time
+	// Observe runs single-threaded after every shard has reached end,
+	// before Barrier: the epoch-synchronized global observation stage.
+	// Use it to fold per-shard observations (idle-gap samples, layout
+	// residency) into a coherent global view.
+	Observe func(end Time) error
+	// Barrier runs single-threaded after Observe. This is the place
+	// cross-shard state may be exchanged: bandwidth re-allocation,
+	// slack settlement, anything that reads or writes more than one
+	// shard.
 	Barrier func(end Time) error
+}
+
+// BarrierStats counts the synchronization work a run performed; the
+// adaptive-epoch benchmarks read it to verify elision actually
+// happened. Wall-clock dependent inputs (the stall fraction) influence
+// only which provable no-op boundaries are skipped, so the stats may
+// vary run to run while the simulation results cannot.
+type BarrierStats struct {
+	// Rendezvous is the number of spans executed: every one ends with
+	// all shards synchronized at the same instant.
+	Rendezvous int64
+	// ElidedEpochs is the number of epoch boundaries skipped inside
+	// elided spans.
+	ElidedEpochs int64
 }
 
 // BarrierEngine drives a set of shard Engines in deterministic
@@ -45,6 +108,13 @@ type BarrierEngine struct {
 	shards  []*Engine
 	epoch   Duration
 	workers int
+
+	stats BarrierStats
+
+	// Stall measurement for the SpanCap hook: wall time spent blocked
+	// in the rendezvous Wait since the last SpanCap query.
+	lastQuery time.Time
+	waitAcc   time.Duration
 }
 
 // NewBarrierEngine builds a barrier engine over the given shards.
@@ -74,6 +144,10 @@ func NewBarrierEngine(shards []*Engine, epoch Duration, workers int) (*BarrierEn
 
 // Workers returns the effective worker count after clamping.
 func (b *BarrierEngine) Workers() int { return b.workers }
+
+// Stats returns the synchronization counters accumulated so far. Call
+// after Run returns (the counters are owned by Run's goroutine).
+func (b *BarrierEngine) Stats() BarrierStats { return b.stats }
 
 // nextAt returns the earliest pending instant across every shard and
 // the external input source.
@@ -110,18 +184,91 @@ func (b *BarrierEngine) epochEnd(at Time) Time {
 	return end
 }
 
-// shardJob is one epoch slice of work for the worker pool.
+// spanLimit is the farthest inclusive end a span starting in at's
+// epoch may reach under a cap of that many epochs.
+func (b *BarrierEngine) spanLimit(at Time, cap int) Time {
+	if at < 0 {
+		at = 0
+	}
+	k := at / Time(b.epoch)
+	limit := (k+Time(cap))*Time(b.epoch) - 1
+	if limit < at || limit > maxTime {
+		return maxTime
+	}
+	return limit
+}
+
+// spanEnd extends the fixed-grid end of the epoch holding at through
+// every provably idle epoch boundary, per the CrossAt contract.
+func (b *BarrierEngine) spanEnd(at Time, hooks BarrierHooks) Time {
+	end := b.epochEnd(at)
+	if hooks.CrossAt == nil || end == maxTime {
+		return end
+	}
+	cross, ok := hooks.CrossAt()
+	if !ok || cross <= end {
+		return end
+	}
+	span := b.epochEnd(cross)
+	if hooks.SpanCap != nil {
+		cap := hooks.SpanCap(b.stallFraction())
+		if cap <= 1 {
+			return end
+		}
+		if limit := b.spanLimit(at, cap); span > limit {
+			span = limit
+		}
+	}
+	if span > end {
+		if span < maxTime {
+			b.stats.ElidedEpochs += int64((span - end) / Time(b.epoch))
+		}
+		end = span
+	}
+	return end
+}
+
+// stallFraction reports the share of wall time since the previous call
+// that the coordinating goroutine spent blocked at the rendezvous
+// Wait. Purely an efficiency signal: it feeds SpanCap, whose output
+// only selects among provable no-op boundaries to skip, so wall-clock
+// jitter cannot reach simulation results.
+func (b *BarrierEngine) stallFraction() float64 {
+	now := time.Now()
+	if b.lastQuery.IsZero() {
+		b.lastQuery = now
+		b.waitAcc = 0
+		return 0
+	}
+	total := now.Sub(b.lastQuery)
+	wait := b.waitAcc
+	b.lastQuery = now
+	b.waitAcc = 0
+	if total <= 0 || wait <= 0 {
+		return 0
+	}
+	f := float64(wait) / float64(total)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// shardJob is one span slice of work for the worker pool.
 type shardJob struct {
 	eng *Engine
 	end Time
 }
 
-// Run executes epochs until every shard and the input source drain, or
-// ctx is cancelled. Each epoch: Prepare, then every shard runs to the
-// epoch end (in parallel across min(workers, shards) goroutines; a
-// shard itself is never shared between goroutines), then Barrier.
-// Handlers and hooks may schedule freely into their own shard; Barrier
-// may schedule into any shard at instants >= that shard's clock.
+// Run executes epoch spans until every shard and the input source
+// drain, or ctx is cancelled. Each span: pick the next pending
+// instant, extend its epoch end through provably idle boundaries
+// (CrossAt/SpanCap), clamp to the next observation instant (CapEnd),
+// Prepare, then every shard runs to the span end (in parallel across
+// min(workers, shards) goroutines; a shard itself is never shared
+// between goroutines), then Observe, then Barrier. Handlers and hooks
+// may schedule freely into their own shard; Observe and Barrier may
+// schedule into any shard at instants >= that shard's clock.
 func (b *BarrierEngine) Run(ctx context.Context, hooks BarrierHooks) error {
 	var (
 		jobs      chan shardJob
@@ -166,7 +313,12 @@ func (b *BarrierEngine) Run(ctx context.Context, hooks BarrierHooks) error {
 		if !ok {
 			return nil
 		}
-		end := b.epochEnd(at)
+		end := b.spanEnd(at, hooks)
+		if hooks.CapEnd != nil {
+			if c := hooks.CapEnd(end); c < end {
+				end = c
+			}
+		}
 		if hooks.Prepare != nil {
 			if err := hooks.Prepare(end); err != nil {
 				return err
@@ -178,10 +330,12 @@ func (b *BarrierEngine) Run(ctx context.Context, hooks BarrierHooks) error {
 				jobs <- shardJob{eng: s, end: end}
 			}
 			// The Wait is the epoch barrier proper: it orders every
-			// shard's writes before the hook below reads them, and the
-			// next epoch's sends order the hook's writes before the
+			// shard's writes before the hooks below read them, and the
+			// next span's sends order the hooks' writes before the
 			// shards resume.
+			waitStart := time.Now()
 			epochWG.Wait()
+			b.waitAcc += time.Since(waitStart)
 			errMu.Lock()
 			err := workerErr
 			errMu.Unlock()
@@ -193,6 +347,12 @@ func (b *BarrierEngine) Run(ctx context.Context, hooks BarrierHooks) error {
 				if err := s.RunUntilContext(ctx, end); err != nil {
 					return err
 				}
+			}
+		}
+		b.stats.Rendezvous++
+		if hooks.Observe != nil {
+			if err := hooks.Observe(end); err != nil {
+				return err
 			}
 		}
 		if hooks.Barrier != nil {

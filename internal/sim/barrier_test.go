@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 )
@@ -255,6 +256,297 @@ func TestBarrierPrepareAndNextInput(t *testing.T) {
 				if logs[s][i] != want[s][i] {
 					t.Fatalf("workers %d shard %d: got %v, want %v", workers, s, logs[s], want[s])
 				}
+			}
+		}
+	}
+}
+
+// elisionRun executes a fixed scenario under either the classic
+// fixed-epoch protocol or the adaptive (CrossAt) one: three shards
+// tick local work every 7 us for 10 ms, and the barrier hook injects a
+// cross-shard event whenever a scripted cross instant falls inside the
+// span that just ended. The injection schedule is a pure function of
+// simulated time (the first rendezvous end at or past each scripted
+// instant is that instant's epoch end in both modes), so logs must be
+// bit-identical with and without elision.
+func elisionRun(t *testing.T, workers int, adaptive bool) ([][]int, []Time, BarrierStats, []Time) {
+	t.Helper()
+	const shards = 3
+	epoch := 50 * Microsecond
+	crosses := []Time{Time(Millisecond) + 13, Time(4*Millisecond) + 1, Time(9 * Millisecond)}
+	engs := make([]*Engine, shards)
+	logs := make([][]int, shards)
+	for i := range engs {
+		engs[i] = New()
+		order := &logs[i]
+		label := i * 1000
+		var tick Handler
+		tick = func(e *Engine) {
+			*order = append(*order, label)
+			label++
+			if e.Now() < Time(10*Millisecond) {
+				e.After(7*Microsecond, tick)
+			}
+		}
+		engs[i].Schedule(Time(i), tick)
+	}
+	be, err := NewBarrierEngine(engs, epoch, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextCross := 0
+	crossLabel := 500_000
+	var ends []Time
+	hooks := BarrierHooks{
+		Barrier: func(end Time) error {
+			ends = append(ends, end)
+			for nextCross < len(crosses) && crosses[nextCross] <= end {
+				nextCross++
+				s := nextCross % shards
+				order := &logs[s]
+				l := crossLabel
+				crossLabel++
+				engs[s].SchedulePrio(end.Add(3), 0, func(e *Engine) {
+					*order = append(*order, l)
+				})
+			}
+			return nil
+		},
+	}
+	if adaptive {
+		hooks.CrossAt = func() (Time, bool) {
+			if nextCross < len(crosses) {
+				return crosses[nextCross], true
+			}
+			return MaxTime, true
+		}
+	}
+	if err := be.Run(context.Background(), hooks); err != nil {
+		t.Fatal(err)
+	}
+	clocks := make([]Time, shards)
+	for i, e := range engs {
+		clocks[i] = e.Now()
+	}
+	return logs, clocks, be.Stats(), ends
+}
+
+// TestBarrierElisionMatchesFixed is the sim-level elision gate: with a
+// sound CrossAt bound the adaptive engine must skip most rendezvous of
+// a sparse scenario while reproducing the fixed-epoch dispatch
+// sequence exactly, at 1 and 2 workers.
+func TestBarrierElisionMatchesFixed(t *testing.T) {
+	refLogs, refClocks, refStats, _ := elisionRun(t, 1, false)
+	if refStats.ElidedEpochs != 0 {
+		t.Fatalf("fixed run elided %d epochs", refStats.ElidedEpochs)
+	}
+	for _, workers := range []int{1, 2} {
+		logs, clocks, stats, _ := elisionRun(t, workers, true)
+		for s := range logs {
+			if len(logs[s]) != len(refLogs[s]) {
+				t.Fatalf("workers %d shard %d: %d dispatches, fixed %d",
+					workers, s, len(logs[s]), len(refLogs[s]))
+			}
+			for i := range logs[s] {
+				if logs[s][i] != refLogs[s][i] {
+					t.Fatalf("workers %d shard %d: order diverges at %d", workers, s, i)
+				}
+			}
+			if clocks[s] != refClocks[s] {
+				t.Fatalf("workers %d shard %d: clock %v, fixed %v", workers, s, clocks[s], refClocks[s])
+			}
+		}
+		if stats.Rendezvous*4 > refStats.Rendezvous {
+			t.Errorf("workers %d: elision barely helped: %d rendezvous, fixed %d",
+				workers, stats.Rendezvous, refStats.Rendezvous)
+		}
+		if stats.ElidedEpochs == 0 {
+			t.Errorf("workers %d: no epochs elided", workers)
+		}
+	}
+}
+
+// TestBarrierSpanCap: the SpanCap hook bounds every elided span, so
+// consecutive rendezvous can never be farther apart than cap epochs —
+// the guarantee the core relies on to keep staging buffers bounded.
+func TestBarrierSpanCap(t *testing.T) {
+	epoch := 10 * Microsecond
+	eng := New()
+	n := 0
+	var tick Handler
+	tick = func(e *Engine) {
+		if n++; e.Now() < Time(Millisecond) {
+			e.After(epoch/2, tick)
+		}
+	}
+	eng.Schedule(0, tick)
+	be, err := NewBarrierEngine([]*Engine{eng}, epoch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []Time
+	capCalls := 0
+	err = be.Run(context.Background(), BarrierHooks{
+		CrossAt: func() (Time, bool) { return MaxTime, true },
+		SpanCap: func(stall float64) int {
+			capCalls++
+			if stall < 0 || stall > 1 {
+				t.Fatalf("stall fraction %g outside [0,1]", stall)
+			}
+			return 4
+		},
+		Barrier: func(end Time) error {
+			ends = append(ends, end)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capCalls == 0 {
+		t.Fatal("SpanCap never consulted")
+	}
+	if len(ends) < 2 {
+		t.Fatalf("only %d rendezvous", len(ends))
+	}
+	for i := 1; i < len(ends); i++ {
+		if d := ends[i] - ends[i-1]; d > Time(4*epoch) {
+			t.Fatalf("span %d covers %v, cap allows %v", i, d, 4*epoch)
+		}
+	}
+}
+
+// TestBarrierCapEndAndObserve: CapEnd turns arbitrary instants into
+// forced rendezvous (mid-epoch, and even instants at or before the
+// shards' clocks, which produce an empty span), and Observe runs at
+// every rendezvous before Barrier with the same end.
+func TestBarrierCapEndAndObserve(t *testing.T) {
+	epoch := 50 * Microsecond
+	obsAt := []Time{Time(120 * Microsecond), Time(121 * Microsecond), Time(300 * Microsecond)}
+	eng := New()
+	var fired []Time
+	var tick Handler
+	tick = func(e *Engine) {
+		fired = append(fired, e.Now())
+		if e.Now() < Time(500*Microsecond) {
+			e.After(90*Microsecond, tick)
+		}
+	}
+	eng.Schedule(0, tick)
+	be, err := NewBarrierEngine([]*Engine{eng}, epoch, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nextObs := 0
+	var observed, barriered []Time
+	err = be.Run(context.Background(), BarrierHooks{
+		CrossAt: func() (Time, bool) { return MaxTime, true },
+		CapEnd: func(end Time) Time {
+			if nextObs < len(obsAt) && obsAt[nextObs] < end {
+				return obsAt[nextObs]
+			}
+			return end
+		},
+		Observe: func(end Time) error {
+			observed = append(observed, end)
+			for nextObs < len(obsAt) && obsAt[nextObs] <= end {
+				nextObs++
+			}
+			return nil
+		},
+		Barrier: func(end Time) error {
+			barriered = append(barriered, end)
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nextObs != len(obsAt) {
+		t.Fatalf("only %d of %d observation instants reached", nextObs, len(obsAt))
+	}
+	if len(observed) != len(barriered) {
+		t.Fatalf("%d observes, %d barriers", len(observed), len(barriered))
+	}
+	for i := range observed {
+		if observed[i] != barriered[i] {
+			t.Fatalf("rendezvous %d: Observe(%v) but Barrier(%v)", i, observed[i], barriered[i])
+		}
+	}
+	for _, at := range obsAt {
+		found := false
+		for _, end := range observed {
+			if end == at {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("no rendezvous at forced observation instant %v (got %v)", at, observed)
+		}
+	}
+}
+
+// TestBarrierHookErrors: a hook returning an error mid-run must tear
+// down the epoch loop (workers drain via the deferred close) and
+// surface exactly that error, on both the inline and pooled paths.
+func TestBarrierHookErrors(t *testing.T) {
+	build := func() []*Engine {
+		engs := []*Engine{New(), New()}
+		for _, e := range engs {
+			var tick Handler
+			tick = func(e *Engine) {
+				if e.Now() < Time(2*Millisecond) {
+					e.After(10*Microsecond, tick)
+				}
+			}
+			e.Schedule(0, tick)
+		}
+		return engs
+	}
+	sentinel := fmt.Errorf("hook exploded")
+	cases := []struct {
+		name string
+		hook func(calls *int) BarrierHooks
+	}{
+		{"prepare", func(calls *int) BarrierHooks {
+			return BarrierHooks{Prepare: func(end Time) error {
+				if *calls++; *calls == 3 {
+					return sentinel
+				}
+				return nil
+			}}
+		}},
+		{"observe", func(calls *int) BarrierHooks {
+			return BarrierHooks{Observe: func(end Time) error {
+				if *calls++; *calls == 3 {
+					return sentinel
+				}
+				return nil
+			}}
+		}},
+		{"barrier", func(calls *int) BarrierHooks {
+			return BarrierHooks{Barrier: func(end Time) error {
+				if *calls++; *calls == 3 {
+					return sentinel
+				}
+				return nil
+			}}
+		}},
+	}
+	for _, tc := range cases {
+		for _, workers := range []int{1, 2} {
+			engs := build()
+			be, err := NewBarrierEngine(engs, 50*Microsecond, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			calls := 0
+			if err := be.Run(context.Background(), tc.hook(&calls)); err != sentinel {
+				t.Errorf("%s workers %d: err = %v, want the hook's error", tc.name, workers, err)
+			}
+			if calls != 3 {
+				t.Errorf("%s workers %d: loop continued past the failing hook (%d calls)", tc.name, workers, calls)
 			}
 		}
 	}
