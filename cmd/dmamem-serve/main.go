@@ -1,0 +1,150 @@
+// Command dmamem-serve runs the simulation-as-a-service daemon: an
+// HTTP/JSON server that accepts simulation job submissions from
+// tenants, schedules them on a bounded worker fleet with per-tenant
+// weighted fair queueing and admission control, caches completed
+// results by canonical config hash, and streams per-job progress.
+//
+// Usage:
+//
+//	dmamem-serve [-listen :8080] [-workers 2] [-quota 16]
+//	             [-weights tenant=2,other=1] [-cache 256]
+//	             [-point-parallel 1] [-max-grid-points 4096]
+//	             [-shard-addrs host:port,...] [-shards N]
+//	             [-shard-timeout 0] [-shard-retries 0]
+//
+// The job schema and a worked curl session are documented in
+// docs/SERVICE.md. A report job's response body is byte-identical to
+// the committed golden corpus (internal/experiments/testdata/golden/)
+// for the default suite, which makes the daemon scriptable with cmp:
+//
+//	curl -s -d '{"Workload":"OLTP-St"}' 'localhost:8080/v1/jobs?wait=1' \
+//	  | cmp - internal/experiments/testdata/golden/oltp-st_baseline.json
+//
+// -shard-addrs fans every grid job's sweep points out to the named
+// TCP shard workers (`dmamem-bench -shard-listen addr`) through the
+// retrying coordinator; without it grids run in-process.
+//
+// The daemon shuts down cleanly on SIGINT/SIGTERM: it stops
+// accepting, cancels queued and running jobs, and drains the fleet.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"dmamem/internal/server/service"
+)
+
+func parseWeights(s string) (map[string]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := map[string]float64{}
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(pair, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("bad -weights entry %q, want tenant=weight", pair)
+		}
+		w, err := strconv.ParseFloat(val, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -weights value %q for tenant %q, want a positive number", val, name)
+		}
+		out[name] = w
+	}
+	return out, nil
+}
+
+// run parses args, starts the daemon, and blocks until a fatal server
+// error or SIGINT/SIGTERM. ready, when non-nil, is called with the
+// bound listen address once the server is accepting — the seam the
+// end-to-end test uses to talk to a daemon on an ephemeral port.
+func run(args []string, ready func(addr string)) error {
+	fs := flag.NewFlagSet("dmamem-serve", flag.ContinueOnError)
+	listen := fs.String("listen", ":8080", "HTTP listen address")
+	workers := fs.Int("workers", 2, "job-execution worker fleet size")
+	quota := fs.Int("quota", 16, "per-tenant admission quota (queued+running jobs; negative = unlimited)")
+	weights := fs.String("weights", "", "per-tenant fair-queueing weights, tenant=weight[,...]")
+	cache := fs.Int("cache", 256, "result cache entries (negative disables)")
+	pointParallel := fs.Int("point-parallel", 1, "goroutines per in-process grid job")
+	maxGridPoints := fs.Int("max-grid-points", 4096, "reject grid jobs over this many points (negative = unlimited)")
+	shardAddrs := fs.String("shard-addrs", "", "comma-separated TCP shard worker addresses for grid jobs")
+	shards := fs.Int("shards", 0, "shard slices for grid jobs (0 = one per address)")
+	shardTimeout := fs.Duration("shard-timeout", 0, "per-slice shard attempt timeout (0 = none)")
+	shardRetries := fs.Int("shard-retries", 0, "shard retry budget (0 = default, negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	tw, err := parseWeights(*weights)
+	if err != nil {
+		return err
+	}
+	var addrs []string
+	if *shardAddrs != "" {
+		addrs = strings.Split(*shardAddrs, ",")
+	}
+
+	d := service.New(service.Config{
+		Workers:       *workers,
+		TenantQuota:   *quota,
+		TenantWeights: tw,
+		CacheEntries:  *cache,
+		PointParallel: *pointParallel,
+		MaxGridPoints: *maxGridPoints,
+		ShardAddrs:    addrs,
+		Shards:        *shards,
+		ShardTimeout:  *shardTimeout,
+		ShardRetries:  *shardRetries,
+		Log:           os.Stderr,
+	})
+	defer d.Close()
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	srv := &http.Server{Handler: d.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "dmamem-serve: listening on %s (%d workers, quota %d)\n", ln.Addr(), *workers, *quota)
+	if ready != nil {
+		ready(ln.Addr().String())
+	}
+
+	select {
+	case err := <-errCh:
+		return err
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "dmamem-serve: %v, shutting down\n", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	if err := <-errCh; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "dmamem-serve:", err)
+		os.Exit(1)
+	}
+}

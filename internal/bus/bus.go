@@ -265,7 +265,14 @@ func (a *Allocator) Allocate(flows []Flow) []float64 {
 				a.remChan[a.channelOf[f.Chip]] -= share
 			}
 		}
-		const eps = 1e-6 // bytes/s; capacities are ~1e9
+		// Capacities are ~1e9 bytes/s, so every subtraction above rounds
+		// at ~5e-7, and the bottleneck's remainder can land several ulps
+		// away from zero after one share per flow. The threshold must sit
+		// far above that accumulated error — otherwise the saturated
+		// resource is missed and the stall fallback flat-freezes every
+		// flow below its fair rate — while staying physically negligible
+		// (1e-3 B/s against GB/s capacities).
+		const eps = 1e-3
 		for i, f := range flows {
 			if frozen[i] {
 				continue

@@ -1,0 +1,70 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache maps canonical job hashes to completed result bytes
+// with LRU eviction. Because simulations are deterministic and results
+// are canonically serialized, a hit is byte-identical to a fresh run —
+// every tenant asking the same question gets the same bit-stable
+// answer without a simulation running twice.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	byKey map[string]*list.Element
+	order *list.List // front = most recently used
+}
+
+type cacheSlot struct {
+	key    string
+	result []byte
+}
+
+// newResultCache returns a cache bounded to max entries; max <= 0
+// disables caching entirely (every get misses).
+func newResultCache(max int) *resultCache {
+	return &resultCache{max: max, byKey: map[string]*list.Element{}, order: list.New()}
+}
+
+// get returns the cached result bytes for a hash, refreshing its
+// recency. The returned slice is shared and must not be mutated.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheSlot).result, true
+}
+
+// put stores a completed result, evicting the least recently used
+// entries beyond the bound.
+func (c *resultCache) put(key string, result []byte) {
+	if c.max <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		c.order.MoveToFront(el)
+		el.Value.(*cacheSlot).result = result
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheSlot{key: key, result: result})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheSlot).key)
+	}
+}
+
+// len reports the number of cached results.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,45 @@
+package service
+
+import "testing"
+
+func TestResultCacheLRUEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("ra"))
+	c.put("b", []byte("rb"))
+	if got := c.len(); got != 2 {
+		t.Fatalf("len = %d, want 2", got)
+	}
+	// Refresh a, insert c: b is the least recently used and must go.
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing before eviction")
+	}
+	c.put("c", []byte("rc"))
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction past the bound")
+	}
+	if got, ok := c.get("a"); !ok || string(got) != "ra" {
+		t.Errorf("a = %q, %v after eviction", got, ok)
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("len = %d after eviction, want 2", got)
+	}
+	// Re-putting an existing key updates in place without growing.
+	c.put("a", []byte("ra2"))
+	if got, _ := c.get("a"); string(got) != "ra2" {
+		t.Errorf("a = %q after overwrite, want ra2", got)
+	}
+	if got := c.len(); got != 2 {
+		t.Errorf("len = %d after overwrite, want 2", got)
+	}
+}
+
+func TestResultCacheDisabled(t *testing.T) {
+	c := newResultCache(0)
+	c.put("a", []byte("ra"))
+	if _, ok := c.get("a"); ok {
+		t.Error("disabled cache returned a hit")
+	}
+	if got := c.len(); got != 0 {
+		t.Errorf("len = %d, want 0", got)
+	}
+}

@@ -1,0 +1,534 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"dmamem/internal/experiments"
+	"dmamem/internal/metrics"
+)
+
+// Config parameterizes a Daemon. The zero value is a runnable
+// single-box service: 2 workers, quota 16 jobs per tenant, a
+// 256-entry result cache, in-process grid execution.
+type Config struct {
+	// Workers is the job-execution fleet size; <= 0 means 2. Each
+	// worker runs one job at a time, so Workers bounds the daemon's
+	// concurrent simulations.
+	Workers int
+	// TenantQuota is the per-tenant admission bound on queued plus
+	// running jobs; 0 means 16, negative means unlimited.
+	TenantQuota int
+	// TenantWeights sets per-tenant fair-queueing weights; unlisted
+	// tenants get weight 1. A weight-2 tenant receives twice the
+	// service share of a weight-1 tenant under contention.
+	TenantWeights map[string]float64
+	// CacheEntries bounds the result cache; 0 means 256, negative
+	// disables caching.
+	CacheEntries int
+	// PointParallel is the per-job worker-goroutine budget for
+	// in-process grid jobs; <= 0 means 1 (serial, the reference).
+	PointParallel int
+	// MaxGridPoints rejects grid jobs resolving to more points at
+	// admission; 0 means 4096, negative means unlimited.
+	MaxGridPoints int
+	// ShardAddrs, when non-empty, fans every grid job's points out to
+	// these TCP shard workers (experiments.ListenAndServeShards)
+	// through the retrying Coordinator instead of running them
+	// in-process.
+	ShardAddrs []string
+	// Shards is the slice count for sharded grid jobs; 0 means
+	// len(ShardAddrs).
+	Shards int
+	// ShardTimeout bounds one shard slice attempt (Coordinator
+	// semantics); 0 means no limit.
+	ShardTimeout time.Duration
+	// ShardRetries is the Coordinator retry budget for slices lost to
+	// transport failures; 0 means the coordinator default, negative
+	// disables retries.
+	ShardRetries int
+	// Log, when non-nil, receives one line per job state change.
+	Log io.Writer
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.TenantQuota == 0 {
+		c.TenantQuota = 16
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.PointParallel <= 0 {
+		c.PointParallel = 1
+	}
+	if c.MaxGridPoints == 0 {
+		c.MaxGridPoints = 4096
+	}
+	if c.Shards == 0 {
+		c.Shards = len(c.ShardAddrs)
+	}
+	return c
+}
+
+// Job lifecycle states.
+const (
+	StatusQueued   = "queued"
+	StatusRunning  = "running"
+	StatusDone     = "done"
+	StatusFailed   = "failed"
+	StatusCanceled = "canceled"
+)
+
+func terminal(status string) bool {
+	return status == StatusDone || status == StatusFailed || status == StatusCanceled
+}
+
+// Event is one entry of a job's progress stream: a lifecycle
+// transition or a finished grid point.
+type Event struct {
+	// Seq is the event's position in the job's stream, from 0.
+	Seq int
+	// State is a lifecycle state ("queued", "running", "done",
+	// "failed", "canceled") or "point" for a finished grid point.
+	State string
+	// Detail carries the point label, the error message, or "cache"
+	// for a cache-served completion.
+	Detail string `json:",omitempty"`
+}
+
+// JobStatus is the API view of one job.
+type JobStatus struct {
+	// ID is the daemon-assigned job identity ("job-000001").
+	ID string
+	// Tenant that submitted the job.
+	Tenant string
+	// Hash is the canonical config hash keying the result cache; two
+	// jobs with equal hashes always have byte-identical results.
+	Hash string
+	// Status is the lifecycle state.
+	Status string
+	// Cached reports that the result was served from the cache
+	// without running.
+	Cached bool `json:",omitempty"`
+	// Points is the grid point count (0 for report jobs).
+	Points int `json:",omitempty"`
+	// Error is the failure message of a failed job.
+	Error string `json:",omitempty"`
+}
+
+// jobState is the daemon-internal record of one submission.
+type jobState struct {
+	id     string
+	tenant string
+	hash   string
+	w      work
+	points int
+	tag    float64 // WFQ virtual finish tag, set by the scheduler
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu     sync.Mutex
+	status string
+	cached bool
+	result []byte
+	errmsg string
+	events []Event
+	wake   *sync.Cond
+	done   chan struct{}
+}
+
+func newJobState(id, tenant, hash string, w work, points int, parent context.Context) *jobState {
+	js := &jobState{
+		id: id, tenant: tenant, hash: hash, w: w, points: points,
+		status: StatusQueued,
+		done:   make(chan struct{}),
+	}
+	js.wake = sync.NewCond(&js.mu)
+	js.ctx, js.cancel = context.WithCancel(parent)
+	return js
+}
+
+// event appends a progress event (not a state change).
+func (js *jobState) event(state, detail string) {
+	js.mu.Lock()
+	js.events = append(js.events, Event{Seq: len(js.events), State: state, Detail: detail})
+	js.wake.Broadcast()
+	js.mu.Unlock()
+}
+
+// transition moves the job from one lifecycle state to another,
+// appending the matching event. It returns false (and does nothing)
+// when the job is not in the expected state — the worker/cancel race
+// is resolved by whoever transitions first.
+func (js *jobState) transition(from, to, detail string) bool {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	if js.status != from {
+		return false
+	}
+	js.status = to
+	js.events = append(js.events, Event{Seq: len(js.events), State: to, Detail: detail})
+	if terminal(to) {
+		js.cancel() // release the context either way
+		close(js.done)
+	}
+	js.wake.Broadcast()
+	return true
+}
+
+// status snapshots the API view.
+func (js *jobState) statusView() JobStatus {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return JobStatus{
+		ID: js.id, Tenant: js.tenant, Hash: js.hash, Status: js.status,
+		Cached: js.cached, Points: js.points, Error: js.errmsg,
+	}
+}
+
+// waitEvent blocks until event seq exists (returning it) or ctx ends.
+func (js *jobState) waitEvent(ctx context.Context, seq int) (Event, bool) {
+	stop := context.AfterFunc(ctx, func() {
+		js.mu.Lock()
+		js.wake.Broadcast()
+		js.mu.Unlock()
+	})
+	defer stop()
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	for seq >= len(js.events) {
+		if ctx.Err() != nil {
+			return Event{}, false
+		}
+		js.wake.Wait()
+	}
+	return js.events[seq], true
+}
+
+// Daemon is the simulation service: a bounded worker fleet draining a
+// weighted fair queue of tenant jobs, with a canonical-hash result
+// cache in front. Create one with New and stop it with Close.
+type Daemon struct {
+	cfg      Config
+	sched    *scheduler
+	cache    *resultCache
+	counters *metrics.Counters
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu     sync.Mutex
+	jobs   map[string]*jobState
+	seq    int
+	closed bool
+
+	// runningHook, when set (tests only), runs after a job enters the
+	// running state and before it executes — the deterministic seam
+	// for exercising mid-job cancellation without racing a simulation.
+	runningHook func(*jobState)
+}
+
+// New starts a daemon with cfg's worker fleet running.
+func New(cfg Config) *Daemon {
+	d := newPaused(cfg)
+	d.startWorkers(d.cfg.Workers)
+	return d
+}
+
+// newPaused builds a daemon without starting workers — the test
+// seam that makes scheduling order observable: submit first, then
+// startWorkers.
+func newPaused(cfg Config) *Daemon {
+	cfg = cfg.withDefaults()
+	d := &Daemon{
+		cfg:      cfg,
+		sched:    newScheduler(cfg.TenantQuota, cfg.TenantWeights),
+		cache:    newResultCache(cfg.CacheEntries),
+		counters: &metrics.Counters{},
+		jobs:     map[string]*jobState{},
+	}
+	d.baseCtx, d.cancel = context.WithCancel(context.Background())
+	return d
+}
+
+func (d *Daemon) startWorkers(n int) {
+	for i := 0; i < n; i++ {
+		d.wg.Add(1)
+		go d.worker()
+	}
+}
+
+// Close stops accepting jobs, cancels everything queued or running,
+// and waits for the workers to drain.
+func (d *Daemon) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.mu.Unlock()
+	d.cancel() // cancels every job context
+	d.sched.close()
+	d.wg.Wait()
+}
+
+// Counters exposes the daemon's monotonic event counters
+// (jobs_submitted, runs, cache_hits, ...) for the stats endpoint and
+// tests.
+func (d *Daemon) Counters() *metrics.Counters { return d.counters }
+
+func (d *Daemon) logf(format string, args ...any) {
+	if d.cfg.Log != nil {
+		fmt.Fprintf(d.cfg.Log, format+"\n", args...)
+	}
+}
+
+// Submit validates, normalizes and enqueues one job. The cache fast
+// path completes the job immediately — without occupying a worker or
+// consuming quota — when a canonical twin already ran. The error is a
+// *QuotaError for admission rejections and wraps ErrBadJob for
+// validation failures.
+func (d *Daemon) Submit(j Job) (JobStatus, error) {
+	w, points, err := j.normalize(d.cfg.MaxGridPoints)
+	if err != nil {
+		d.counters.Add("jobs_rejected", 1)
+		return JobStatus{}, err
+	}
+	hash, err := experiments.CanonicalHash(w)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("service: hashing job: %w", err)
+	}
+	tenant := j.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return JobStatus{}, errSchedClosed
+	}
+	d.seq++
+	id := fmt.Sprintf("job-%06d", d.seq)
+	js := newJobState(id, tenant, hash, w, points, d.baseCtx)
+	d.jobs[id] = js
+	d.mu.Unlock()
+	d.counters.Add("jobs_submitted", 1)
+
+	if cached, ok := d.cache.get(hash); ok {
+		js.mu.Lock()
+		js.cached = true
+		js.result = cached
+		js.mu.Unlock()
+		js.transition(StatusQueued, StatusDone, "cache")
+		d.counters.Add("cache_hits", 1)
+		d.counters.Add("jobs_completed", 1)
+		d.logf("job %s (tenant %s): served from cache (%s)", id, tenant, hash[:12])
+		return js.statusView(), nil
+	}
+
+	js.event(StatusQueued, "")
+	if err := d.sched.submit(js); err != nil {
+		d.mu.Lock()
+		delete(d.jobs, id)
+		d.mu.Unlock()
+		var qe *QuotaError
+		if errors.As(err, &qe) {
+			d.counters.Add("jobs_rejected_quota", 1)
+		}
+		return JobStatus{}, err
+	}
+	d.logf("job %s (tenant %s): queued (%s)", id, tenant, hash[:12])
+	return js.statusView(), nil
+}
+
+// worker drains the fair queue until the scheduler closes.
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for {
+		js, ok := d.sched.next()
+		if !ok {
+			return
+		}
+		d.runJob(js)
+		d.sched.finish(js.tenant)
+	}
+}
+
+// runJob executes one dequeued job, resolving the cancel/run race
+// through the state machine.
+func (d *Daemon) runJob(js *jobState) {
+	if js.ctx.Err() != nil {
+		// Canceled (or daemon shutdown) while queued; the transition
+		// fails when an explicit Cancel already completed the job, in
+		// which case that side counted it.
+		if js.transition(StatusQueued, StatusCanceled, js.ctx.Err().Error()) {
+			d.counters.Add("jobs_canceled", 1)
+		}
+		return
+	}
+	if !js.transition(StatusQueued, StatusRunning, "") {
+		return // canceled concurrently; the canceling side counted it
+	}
+	d.logf("job %s (tenant %s): running", js.id, js.tenant)
+	d.counters.Add("runs", 1)
+	if d.runningHook != nil {
+		d.runningHook(js)
+	}
+	result, err := d.execute(js)
+	if err != nil {
+		if js.ctx.Err() != nil {
+			js.transition(StatusRunning, StatusCanceled, err.Error())
+			d.counters.Add("jobs_canceled", 1)
+			d.logf("job %s (tenant %s): canceled", js.id, js.tenant)
+			return
+		}
+		js.mu.Lock()
+		js.errmsg = err.Error()
+		js.mu.Unlock()
+		js.transition(StatusRunning, StatusFailed, err.Error())
+		d.counters.Add("jobs_failed", 1)
+		d.logf("job %s (tenant %s): failed: %v", js.id, js.tenant, err)
+		return
+	}
+	d.cache.put(js.hash, result)
+	js.mu.Lock()
+	js.result = result
+	js.mu.Unlock()
+	js.transition(StatusRunning, StatusDone, "")
+	d.counters.Add("jobs_completed", 1)
+	d.logf("job %s (tenant %s): done (%d bytes)", js.id, js.tenant, len(result))
+}
+
+// execute runs the job's work spec and returns the canonical result
+// bytes. Errors are wrapped with the job and tenant identity, so a
+// failure deep in a shard slice still names whose sweep it broke
+// ("job-000007 (tenant acme): ... shard 1/2 (points 3..5): ...").
+func (d *Daemon) execute(js *jobState) ([]byte, error) {
+	var (
+		result []byte
+		err    error
+	)
+	switch {
+	case js.w.Report != nil:
+		var rep any
+		rep, err = experiments.RunReport(js.ctx, *js.w.Report)
+		if err == nil {
+			result, err = experiments.CanonicalJSON(rep)
+		}
+	case js.w.Grid != nil:
+		result, err = d.executeGrid(js)
+	default:
+		err = errors.New("empty work spec")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("service: job %s (tenant %s): %w", js.id, js.tenant, err)
+	}
+	return result, nil
+}
+
+// executeGrid runs a grid job in-process, or through the TCP shard
+// coordinator when the daemon is configured with a worker fleet. Both
+// paths produce byte-identical canonical point arrays.
+func (d *Daemon) executeGrid(js *jobState) ([]byte, error) {
+	gw := js.w.Grid
+	if len(d.cfg.ShardAddrs) > 0 {
+		c := &experiments.Coordinator{
+			Shards:   d.cfg.Shards,
+			Addrs:    d.cfg.ShardAddrs,
+			Timeout:  d.cfg.ShardTimeout,
+			Retries:  d.cfg.ShardRetries,
+			Parallel: d.cfg.PointParallel,
+		}
+		points, err := c.Run(js.ctx, gw.Suite, gw.Grid)
+		if err != nil {
+			return nil, err
+		}
+		d.counters.Add("grid_points", uint64(len(points)))
+		js.event("point", fmt.Sprintf("%d points via %d shard workers", len(points), len(d.cfg.ShardAddrs)))
+		return experiments.CanonicalJSON(points)
+	}
+	s := experiments.NewSuiteFromSpec(gw.Suite)
+	s.Workers = gw.Workers
+	if d.cfg.PointParallel > 1 {
+		s.Runner = &experiments.Runner{Parallel: d.cfg.PointParallel}
+	}
+	points, err := experiments.GridRunRaw(js.ctx, s, gw.Grid, func(i int, label string) {
+		js.event("point", label)
+		d.counters.Add("grid_points", 1)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return experiments.CanonicalJSON(points)
+}
+
+// get looks a job up by ID.
+func (d *Daemon) get(id string) (*jobState, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	js, ok := d.jobs[id]
+	return js, ok
+}
+
+// Status returns the API view of a job.
+func (d *Daemon) Status(id string) (JobStatus, bool) {
+	js, ok := d.get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	return js.statusView(), true
+}
+
+// Result returns the canonical result bytes of a completed job.
+func (d *Daemon) Result(id string) ([]byte, JobStatus, bool) {
+	js, ok := d.get(id)
+	if !ok {
+		return nil, JobStatus{}, false
+	}
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.result, JobStatus{
+		ID: js.id, Tenant: js.tenant, Hash: js.hash, Status: js.status,
+		Cached: js.cached, Points: js.points, Error: js.errmsg,
+	}, true
+}
+
+// Cancel cancels a job: queued jobs complete as canceled immediately,
+// running jobs abort through their context within microseconds of
+// simulated dispatch. Canceling a terminal job is a no-op.
+func (d *Daemon) Cancel(id string) (JobStatus, bool) {
+	js, ok := d.get(id)
+	if !ok {
+		return JobStatus{}, false
+	}
+	if js.transition(StatusQueued, StatusCanceled, "canceled before running") {
+		d.counters.Add("jobs_canceled", 1)
+	}
+	js.cancel() // aborts a running simulation mid-flight
+	return js.statusView(), true
+}
+
+// Wait blocks until the job reaches a terminal state or ctx ends.
+func (d *Daemon) Wait(ctx context.Context, id string) (JobStatus, error) {
+	js, ok := d.get(id)
+	if !ok {
+		return JobStatus{}, fmt.Errorf("service: unknown job %q", id)
+	}
+	select {
+	case <-js.done:
+		return js.statusView(), nil
+	case <-ctx.Done():
+		return js.statusView(), ctx.Err()
+	}
+}

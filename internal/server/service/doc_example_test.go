@@ -1,0 +1,43 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// TestServiceDocExample pins the worked example of docs/SERVICE.md:
+// the curl request body and the golden file the document pairs it
+// with are extracted from the document itself and executed against an
+// in-process daemon, so the example cannot drift from the code
+// (mirroring TestDMTSpecExample for the trace format document).
+func TestServiceDocExample(t *testing.T) {
+	doc, err := os.ReadFile(filepath.Join("..", "..", "..", "docs", "SERVICE.md"))
+	if err != nil {
+		t.Fatalf("reading docs/SERVICE.md: %v", err)
+	}
+	bodyRe := regexp.MustCompile(`-d '(\{[^']+\})'`)
+	bodyM := bodyRe.FindSubmatch(doc)
+	if bodyM == nil {
+		t.Fatal("docs/SERVICE.md no longer contains a curl -d '{...}' example")
+	}
+	goldenRe := regexp.MustCompile(`internal/experiments/testdata/golden/([a-z0-9._-]+\.json)`)
+	goldenM := goldenRe.FindSubmatch(doc)
+	if goldenM == nil {
+		t.Fatal("docs/SERVICE.md no longer names a golden corpus file")
+	}
+
+	_, srv := newTestServer(t, Config{Workers: 1})
+	code, _, got := postJob(t, srv, string(bodyM[1]), true)
+	if code != http.StatusOK {
+		t.Fatalf("documented example returned status %d: %s", code, got)
+	}
+	want := goldenBytes(t, string(goldenM[1]))
+	if !bytes.Equal(got, want) {
+		t.Errorf("the documented example no longer returns %s byte-identically (%d vs %d bytes)",
+			goldenM[1], len(got), len(want))
+	}
+}

@@ -1,0 +1,179 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"dmamem/internal/experiments"
+)
+
+// hungListener accepts connections and never answers — the
+// pathological TCP shard worker: the dial succeeds, the request
+// frame writes, and then nothing ever comes back.
+func hungListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	t.Cleanup(func() { ln.Close(); <-done })
+	go func() {
+		defer close(done)
+		var conns []net.Conn
+		defer func() {
+			for _, c := range conns {
+				c.Close()
+			}
+		}()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			conns = append(conns, c) // hold it open, never respond
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// goodShardWorker serves real shard sessions on a loopback listener.
+func goodShardWorker(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	t.Cleanup(func() {
+		cancel()
+		ln.Close()
+		<-done
+	})
+	go func() {
+		defer close(done)
+		experiments.ServeShards(ctx, ln, nil)
+	}()
+	return ln.Addr().String()
+}
+
+// TestShardFailoverKeepsTenantsIsolated is the regression test for
+// the daemon's sharded grid path: one of the two TCP workers hangs
+// mid-slice, the coordinator times the slice out and retries it on
+// the healthy worker, the sharded tenant's job completes with the
+// correct result — and another tenant's in-flight job on the same
+// daemon is untouched throughout.
+func TestShardFailoverKeepsTenantsIsolated(t *testing.T) {
+	hung := hungListener(t)
+	good := goodShardWorker(t)
+	d := New(Config{
+		Workers:      2,
+		ShardAddrs:   []string{hung, good},
+		Shards:       2,
+		ShardTimeout: 2 * time.Second,
+	})
+	defer d.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Tenant B's report job runs in-process, concurrent with tenant
+	// A's sharded sweep and its failover.
+	stB, err := d.Submit(Job{Tenant: "bystander", Workload: "Synthetic-St"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stA, err := d.Submit(noopJob("sharded", 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	finalA, err := d.Wait(ctx, stA.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalA.Status != StatusDone {
+		t.Fatalf("sharded job finished %q: %s", finalA.Status, finalA.Error)
+	}
+	resultA, _, _ := d.Result(stA.ID)
+	var pts []json.RawMessage
+	if err := json.Unmarshal(resultA, &pts); err != nil || len(pts) != 6 {
+		t.Fatalf("sharded result: %d points, err %v", len(pts), err)
+	}
+	// The failed-over result is byte-identical to an in-process run of
+	// the same grid.
+	s := experiments.NewSuiteFromSpec(experiments.SuiteSpec{})
+	raw, err := experiments.GridRunRaw(ctx, s, experiments.GridSpec{Name: "noop", Points: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := experiments.CanonicalJSON(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resultA, want) {
+		t.Error("failed-over sharded result differs from the in-process run")
+	}
+
+	// The bystander's job is intact and bit-exact.
+	finalB, err := d.Wait(ctx, stB.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finalB.Status != StatusDone {
+		t.Fatalf("bystander job finished %q: %s", finalB.Status, finalB.Error)
+	}
+	resultB, _, _ := d.Result(stB.ID)
+	want = goldenBytes(t, "synthetic-st_baseline.json")
+	if !bytes.Equal(resultB, want) {
+		t.Error("bystander report drifted from the golden corpus during the failover")
+	}
+}
+
+// TestShardFailureNamesTenantAndJob pins the error contract of the
+// sharded path: when every worker is unreachable and retries are
+// exhausted, the job fails with an error naming the job ID, the
+// tenant, and the coordinator's shard/point range — enough to tell
+// whose sweep died and where without grepping worker logs.
+func TestShardFailureNamesTenantAndJob(t *testing.T) {
+	hung := hungListener(t)
+	d := New(Config{
+		Workers:      1,
+		ShardAddrs:   []string{hung},
+		Shards:       1,
+		ShardTimeout: 500 * time.Millisecond,
+		ShardRetries: -1, // fail fast: no retries, every address hangs anyway
+	})
+	defer d.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	st, err := d.Submit(noopJob("acme", 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	final, err := d.Wait(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusFailed {
+		t.Fatalf("job finished %q, want failed", final.Status)
+	}
+	for _, want := range []string{
+		"job " + st.ID,
+		"(tenant acme)",
+		"shard 0/1 (points 0..3)",
+	} {
+		if !strings.Contains(final.Error, want) {
+			t.Errorf("failure %q does not contain %q", final.Error, want)
+		}
+	}
+	if got := d.Counters().Get("jobs_failed"); got != 1 {
+		t.Errorf("jobs_failed = %d, want 1", got)
+	}
+}
